@@ -1,0 +1,110 @@
+"""Graph 1 — index search cost vs node size.
+
+Paper setup: every structure filled with 30,000 unique elements (indices
+hold pointers only), then searched.  Expected shape:
+
+* Chained Bucket Hash: fastest, flat;
+* small-node hashing methods all equivalent; Modified Linear Hashing
+  degrades steepest as chains grow;
+* AVL slightly cheaper than T-Tree (the T-Tree pays a binary search of
+  the final node), both cheaper than the array's pure binary search,
+  B-Tree worst of the order-preserving structures.
+"""
+
+import pytest
+
+try:
+    from benchmarks.harness import SeriesCollector, bench_rng, measure, scaled
+    from benchmarks.index_common import (
+        NODE_SIZED,
+        NODE_SIZES,
+        STRUCTURES,
+        build_index,
+        load_index,
+    )
+except ImportError:  # direct execution: python benchmarks/bench_graph01_...
+    from harness import SeriesCollector, bench_rng, measure, scaled
+    from index_common import (
+        NODE_SIZED,
+        NODE_SIZES,
+        STRUCTURES,
+        build_index,
+        load_index,
+    )
+
+from repro.workloads import unique_keys
+
+#: 30,000 unique elements in the paper; scaled by default.
+N_KEYS = scaled(30000)
+N_SEARCHES = scaled(30000)
+
+
+def search_workload(index, probes):
+    def run():
+        for key in probes:
+            index.search(key)
+    return run
+
+
+def run_graph1() -> SeriesCollector:
+    rng = bench_rng()
+    keys = unique_keys(N_KEYS, rng)
+    probes = [keys[rng.randrange(len(keys))] for __ in range(N_SEARCHES)]
+    series = SeriesCollector(
+        f"Graph 1 — Index Search ({N_KEYS:,} elements, "
+        f"{N_SEARCHES:,} searches; weighted op cost)",
+        "node_size",
+        STRUCTURES,
+    )
+    flat_cost = {}
+    for kind in STRUCTURES:
+        if kind in NODE_SIZED:
+            continue
+        index = load_index(build_index(kind, 0, N_KEYS), keys)
+        __, counters, __ = measure(search_workload(index, probes))
+        flat_cost[kind] = round(counters.weighted_cost())
+    for node_size in NODE_SIZES:
+        cells = {}
+        for kind in STRUCTURES:
+            if kind in NODE_SIZED:
+                index = load_index(build_index(kind, node_size, N_KEYS), keys)
+                __, counters, __ = measure(search_workload(index, probes))
+                cells[kind] = round(counters.weighted_cost())
+            else:
+                cells[kind] = flat_cost[kind]
+        series.add(node_size, **cells)
+    return series
+
+
+def test_graph01_series():
+    """Regenerate the Graph 1 series and check its shape."""
+    series = run_graph1()
+    series.publish("graph01_index_search")
+    mid = NODE_SIZES.index(20)
+    cbh = series.column("chained_hash")
+    ttree = series.column("ttree")
+    avl = series.column("avl")
+    btree = series.column("btree")
+    mlh = series.column("modified_linear_hash")
+    # Chained bucket hashing is the fastest method at moderate node sizes.
+    assert cbh[mid] < ttree[mid]
+    assert cbh[mid] < btree[mid]
+    # AVL <= T-Tree <= B-Tree among the tree structures (paper's order).
+    assert avl[mid] <= ttree[mid] * 1.1
+    assert ttree[mid] < btree[mid]
+    # MLH cost rises with average chain length.
+    assert mlh[-1] > mlh[0] * 2
+
+
+@pytest.mark.parametrize("kind", ["ttree", "avl", "btree", "chained_hash"])
+def test_search_microbench(benchmark, kind):
+    """Wall-clock micro-benchmark of 1,000 searches per structure."""
+    rng = bench_rng()
+    keys = unique_keys(scaled(30000), rng)
+    index = load_index(build_index(kind, 20, len(keys)), keys)
+    probes = [keys[rng.randrange(len(keys))] for __ in range(1000)]
+    benchmark(search_workload(index, probes))
+
+
+if __name__ == "__main__":
+    run_graph1().show()

@@ -1,0 +1,82 @@
+"""Graph 3 — distribution of duplicate values.
+
+The paper plots, for each truncated-normal standard deviation (0.1
+skewed, 0.4 moderate, 0.8 near-uniform), the cumulative percentage of
+tuples held by the top X percent of values.
+"""
+
+import pytest
+
+try:
+    from benchmarks.harness import SeriesCollector, bench_rng, scaled
+except ImportError:
+    from harness import SeriesCollector, bench_rng, scaled
+
+from repro.workloads.distributions import (
+    MODERATE_SIGMA,
+    NEAR_UNIFORM_SIGMA,
+    SKEWED_SIGMA,
+    cumulative_tuple_share,
+    duplicate_counts,
+)
+
+N_TUPLES = scaled(20000)
+N_VALUES = max(20, N_TUPLES // 100)
+
+SIGMAS = [
+    ("skewed_0.1", SKEWED_SIGMA),
+    ("moderate_0.4", MODERATE_SIGMA),
+    ("near_uniform_0.8", NEAR_UNIFORM_SIGMA),
+]
+
+X_POINTS = [5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+
+
+def run_graph3() -> SeriesCollector:
+    series = SeriesCollector(
+        f"Graph 3 — Distribution of Duplicate Values "
+        f"({N_TUPLES:,} tuples over {N_VALUES:,} values; % of tuples)",
+        "percent_values",
+        [name for name, __ in SIGMAS],
+    )
+    curves = {}
+    for name, sigma in SIGMAS:
+        counts = duplicate_counts(N_VALUES, N_TUPLES, sigma, bench_rng())
+        curve = cumulative_tuple_share(counts)
+        curves[name] = curve
+    for x in X_POINTS:
+        cells = {}
+        for name, __ in SIGMAS:
+            share = next(s for pct, s in curves[name] if pct >= x)
+            cells[name] = round(share, 1)
+        series.add(x, **cells)
+    return series
+
+
+def test_graph03_series():
+    series = run_graph3()
+    series.publish("graph03_distributions")
+    skewed = series.column("skewed_0.1")
+    moderate = series.column("moderate_0.4")
+    uniform = series.column("near_uniform_0.8")
+    ten = X_POINTS.index(10)
+    fifty = X_POINTS.index(50)
+    # Skewed: ~10% of values hold roughly two thirds of the tuples.
+    assert 55 <= skewed[ten] <= 80
+    # Ordering of the three curves everywhere below 100%.
+    for i in range(len(X_POINTS) - 1):
+        assert skewed[i] >= moderate[i] >= uniform[i]
+    # Near-uniform is close to the diagonal at the halfway point.
+    assert uniform[fifty] <= 70
+    # All curves reach 100% at 100% of values.
+    assert skewed[-1] == moderate[-1] == uniform[-1] == 100.0
+
+
+def test_graph03_bench(benchmark):
+    benchmark(
+        lambda: duplicate_counts(N_VALUES, N_TUPLES, SKEWED_SIGMA, bench_rng())
+    )
+
+
+if __name__ == "__main__":
+    run_graph3().show()

@@ -1,0 +1,79 @@
+"""Graph 4 — Join Test 1: vary cardinality with |R1| = |R2|.
+
+Keys only (0% duplicates), 100% semijoin selectivity.  Expected shape:
+Tree Merge best (indexes pre-exist, ~|R1| + 2|R2| comparisons), Hash Join
+next (build + fixed-cost probes), Tree Join above it (log2|R2| per
+probe), Sort Merge worst (pays both sorts).
+"""
+
+import pytest
+
+try:
+    from benchmarks.harness import SeriesCollector, bench_rng, scaled
+    from benchmarks.join_common import JOIN_METHODS, run_join_methods
+except ImportError:
+    from harness import SeriesCollector, bench_rng, scaled
+    from join_common import JOIN_METHODS, run_join_methods
+
+from repro.workloads import RelationSpec, build_join_pair
+
+#: The paper sweeps up to 30,000 tuples per relation.
+CARDINALITIES = [scaled(n) for n in (3750, 7500, 15000, 22500, 30000)]
+
+
+def make_pair(n):
+    return build_join_pair(
+        RelationSpec(n), RelationSpec(n), 100.0, bench_rng()
+    )
+
+
+def run_graph4() -> SeriesCollector:
+    series = SeriesCollector(
+        "Graph 4 — Join Test 1: |R1| = |R2| (0% dups, 100% selectivity; "
+        "weighted op cost)",
+        "tuples",
+        JOIN_METHODS,
+    )
+    for n in CARDINALITIES:
+        pair = make_pair(n)
+        stats = run_join_methods(pair.outer, pair.inner)
+        series.add(
+            n, **{m: round(stats[m]["cost"]) for m in JOIN_METHODS}
+        )
+    return series
+
+
+def test_graph04_series():
+    series = run_graph4()
+    series.publish("graph04_join_cardinality")
+    for i in range(len(CARDINALITIES)):
+        tm = series.column("tree_merge")[i]
+        hj = series.column("hash_join")[i]
+        tj = series.column("tree_join")[i]
+        sm = series.column("sort_merge")[i]
+        # "If both indices are available, then a Tree Merge gives the best
+        # performance."
+        assert tm < hj < tj, (tm, hj, tj)
+        # "The Sort Merge algorithm has the worst performance ... in this
+        # test."
+        assert sm > hj
+        assert sm > tm
+    # Every method scales roughly linearly/log-linearly, no blow-ups: the
+    # largest size costs less than 20x the smallest (sizes differ by 8x).
+    for method in JOIN_METHODS:
+        col = series.column(method)
+        assert col[-1] < 20 * col[0]
+
+
+@pytest.mark.parametrize("method", JOIN_METHODS)
+def test_join_cardinality_bench(benchmark, method):
+    pair = make_pair(scaled(15000))
+    benchmark.pedantic(
+        lambda: run_join_methods(pair.outer, pair.inner, [method]),
+        rounds=1,
+        iterations=1,
+    )
+
+
+if __name__ == "__main__":
+    run_graph4().show()

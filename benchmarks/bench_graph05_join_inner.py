@@ -1,0 +1,71 @@
+"""Graph 5 — Join Test 2: vary the inner |R2| from 1-100% of |R1|.
+
+|R1| fixed at 30,000, keys only, 100% selectivity.  "The results obtained
+here are similar to those of Test 1, with Tree Merge performing the best
+if T Tree indices exist on both join columns, and Hash Join performing
+the best otherwise."
+"""
+
+import pytest
+
+try:
+    from benchmarks.harness import SeriesCollector, bench_rng, scaled
+    from benchmarks.join_common import JOIN_METHODS, run_join_methods
+except ImportError:
+    from harness import SeriesCollector, bench_rng, scaled
+    from join_common import JOIN_METHODS, run_join_methods
+
+from repro.workloads import RelationSpec, build_join_pair
+
+OUTER_N = scaled(30000)
+PERCENTAGES = [1, 10, 25, 50, 75, 100]
+
+
+def make_pair(pct):
+    inner_n = max(1, OUTER_N * pct // 100)
+    return build_join_pair(
+        RelationSpec(OUTER_N), RelationSpec(inner_n), 100.0, bench_rng()
+    )
+
+
+def run_graph5() -> SeriesCollector:
+    series = SeriesCollector(
+        f"Graph 5 — Join Test 2: vary |R2| as % of |R1|={OUTER_N:,} "
+        "(0% dups, 100% selectivity; weighted op cost)",
+        "pct_of_outer",
+        JOIN_METHODS,
+    )
+    for pct in PERCENTAGES:
+        pair = make_pair(pct)
+        stats = run_join_methods(pair.outer, pair.inner)
+        series.add(pct, **{m: round(stats[m]["cost"]) for m in JOIN_METHODS})
+    return series
+
+
+def test_graph05_series():
+    series = run_graph5()
+    series.publish("graph05_join_inner")
+    for i, pct in enumerate(PERCENTAGES):
+        tm = series.column("tree_merge")[i]
+        hj = series.column("hash_join")[i]
+        tj = series.column("tree_join")[i]
+        # Tree Merge best with both indexes; Hash Join best otherwise.
+        assert tm < hj, pct
+        assert hj < tj, pct
+    # Sort Merge pays |R1| log |R1| regardless of |R2|: worst at every
+    # point of this sweep.
+    for i in range(len(PERCENTAGES)):
+        assert series.column("sort_merge")[i] > series.column("hash_join")[i]
+
+
+def test_join_inner_bench(benchmark):
+    pair = make_pair(50)
+    benchmark.pedantic(
+        lambda: run_join_methods(pair.outer, pair.inner, ["hash_join"]),
+        rounds=1,
+        iterations=1,
+    )
+
+
+if __name__ == "__main__":
+    run_graph5().show()

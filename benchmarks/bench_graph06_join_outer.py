@@ -1,0 +1,82 @@
+"""Graph 6 — Join Test 3: vary the outer |R1| from 1-100% of |R2|.
+
+|R2| fixed at 30,000 with an existing T-Tree index.  "The Tree Join
+outperforms the others for small values of |R1|, beating even the Tree
+Merge algorithm for the smallest |R1| values ...  Once |R1| increases to
+about 60% of |R2|, the Hash Join algorithm becomes the better method
+again because the speed of the hash lookup overcomes the initial cost of
+building the hash table."
+"""
+
+import pytest
+
+try:
+    from benchmarks.harness import (
+        SeriesCollector,
+        bench_rng,
+        crossover_points,
+        scaled,
+    )
+    from benchmarks.join_common import JOIN_METHODS, run_join_methods
+except ImportError:
+    from harness import SeriesCollector, bench_rng, crossover_points, scaled
+    from join_common import JOIN_METHODS, run_join_methods
+
+from repro.workloads import RelationSpec, build_join_pair
+
+INNER_N = scaled(30000)
+PERCENTAGES = [1, 5, 10, 25, 50, 75, 100]
+
+
+def make_pair(pct):
+    outer_n = max(1, INNER_N * pct // 100)
+    # Build with the larger relation as the generator's "outer" so that
+    # selectivity semantics stay the paper's, then swap roles.
+    pair = build_join_pair(
+        RelationSpec(INNER_N), RelationSpec(outer_n), 100.0, bench_rng()
+    )
+    return pair.inner, pair.outer  # (R1 = small outer, R2 = big inner)
+
+
+def run_graph6() -> SeriesCollector:
+    series = SeriesCollector(
+        f"Graph 6 — Join Test 3: vary |R1| as % of |R2|={INNER_N:,} "
+        "(0% dups, 100% selectivity; weighted op cost)",
+        "pct_of_inner",
+        JOIN_METHODS,
+    )
+    for pct in PERCENTAGES:
+        outer, inner = make_pair(pct)
+        stats = run_join_methods(outer, inner)
+        series.add(pct, **{m: round(stats[m]["cost"]) for m in JOIN_METHODS})
+    return series
+
+
+def test_graph06_series():
+    series = run_graph6()
+    series.publish("graph06_join_outer")
+    tj = series.column("tree_join")
+    hj = series.column("hash_join")
+    # Small |R1|: the Tree Join wins — even against Tree Merge at the very
+    # smallest sizes (a few probes beat scanning 30,000 inner tuples).
+    assert tj[0] < hj[0]
+    assert tj[0] < series.column("tree_merge")[0]
+    # Large |R1|: the Hash Join overtakes the Tree Join.
+    assert hj[-1] < tj[-1]
+    # The crossover falls somewhere inside the sweep (paper: ~50-60%).
+    crossings = crossover_points(tj, hj, PERCENTAGES)
+    assert crossings, "expected a Tree Join / Hash Join crossover"
+    assert 5 <= crossings[0] <= 100
+
+
+def test_join_outer_bench(benchmark):
+    outer, inner = make_pair(10)
+    benchmark.pedantic(
+        lambda: run_join_methods(outer, inner, ["tree_join"]),
+        rounds=1,
+        iterations=1,
+    )
+
+
+if __name__ == "__main__":
+    run_graph6().show()

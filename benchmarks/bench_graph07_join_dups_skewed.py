@@ -1,0 +1,91 @@
+"""Graph 7 — Join Test 4: vary duplicate percentage, skewed distribution.
+
+|R1| = |R2| = 20,000, 100% semijoin selectivity, sigma = 0.1.  Join output
+explodes as duplicates rise; "the Sort Merge method is the most efficient
+of the algorithms for scanning large numbers of tuples ... once the
+skewed duplicate percentage reaches about 80 percent ... it beats even
+Tree Merge ...  The Index Join methods ... begin to lose to Sort Merge
+when the skewed duplicate percentage reaches about 40 percent."
+"""
+
+import pytest
+
+try:
+    from benchmarks.harness import (
+        SeriesCollector,
+        bench_rng,
+        crossover_points,
+        scaled,
+    )
+    from benchmarks.join_common import JOIN_METHODS, run_join_methods
+except ImportError:
+    from harness import SeriesCollector, bench_rng, crossover_points, scaled
+    from join_common import JOIN_METHODS, run_join_methods
+
+from repro.workloads import DuplicateDistribution, RelationSpec, build_join_pair
+from repro.workloads.distributions import SKEWED_SIGMA
+
+N = scaled(20000)
+DUP_PERCENTAGES = [0, 20, 40, 60, 80, 95]
+
+
+def make_pair(dup_pct, sigma=SKEWED_SIGMA):
+    dist = DuplicateDistribution(sigma)
+    return build_join_pair(
+        RelationSpec(N, dup_pct, dist),
+        RelationSpec(N, dup_pct, dist),
+        100.0,
+        bench_rng(),
+    )
+
+
+def run_graph7() -> SeriesCollector:
+    series = SeriesCollector(
+        f"Graph 7 — Join Test 4: vary duplicates, skewed dist. "
+        f"(|R|={N:,}; weighted op cost)",
+        "dup_pct",
+        JOIN_METHODS + ["result_size"],
+    )
+    for dup_pct in DUP_PERCENTAGES:
+        pair = make_pair(dup_pct)
+        stats = run_join_methods(pair.outer, pair.inner)
+        cells = {m: round(stats[m]["cost"]) for m in JOIN_METHODS}
+        cells["result_size"] = stats["hash_join"]["results"]
+        series.add(dup_pct, **cells)
+    return series
+
+
+def test_graph07_series():
+    series = run_graph7()
+    series.publish("graph07_join_dups_skewed")
+    sm = series.column("sort_merge")
+    hj = series.column("hash_join")
+    tj = series.column("tree_join")
+    tm = series.column("tree_merge")
+    sizes = series.column("result_size")
+    # The result size explodes with skewed duplicates (hundreds of times
+    # the input size at the high end).
+    assert sizes[-1] > 20 * sizes[0]
+    # At 0% duplicates Sort Merge is the worst method...
+    assert sm[0] > hj[0] and sm[0] > tm[0]
+    # ...but at the top of the sweep it beats the index joins, and the
+    # crossovers happen inside the sweep (paper: ~40% vs index joins,
+    # ~80% vs Tree Merge).
+    assert sm[-1] < hj[-1]
+    assert sm[-1] < tj[-1]
+    assert sm[-1] < tm[-1]
+    assert crossover_points(sm, hj, DUP_PERCENTAGES)
+    assert crossover_points(sm, tm, DUP_PERCENTAGES)
+
+
+def test_join_dups_skewed_bench(benchmark):
+    pair = make_pair(60)
+    benchmark.pedantic(
+        lambda: run_join_methods(pair.outer, pair.inner, ["sort_merge"]),
+        rounds=1,
+        iterations=1,
+    )
+
+
+if __name__ == "__main__":
+    run_graph7().show()

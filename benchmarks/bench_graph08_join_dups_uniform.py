@@ -1,0 +1,81 @@
+"""Graph 8 — Join Test 5: vary duplicate percentage, uniform distribution.
+
+Same as Test 4 but with uniformly distributed duplicates, so the join
+output grows far more slowly: "the Tree Merge algorithm remained the best
+method until the duplicate percentage exceeded about 97 percent ...  Once
+the duplicate percentage became high enough to cause a high output join
+(at about 97 percent), Sort Merge again became the fastest join method."
+"""
+
+import pytest
+
+try:
+    from benchmarks.harness import SeriesCollector, bench_rng, scaled
+    from benchmarks.join_common import JOIN_METHODS, run_join_methods
+except ImportError:
+    from harness import SeriesCollector, bench_rng, scaled
+    from join_common import JOIN_METHODS, run_join_methods
+
+from repro.workloads import DuplicateDistribution, RelationSpec, build_join_pair
+
+N = scaled(20000)
+DUP_PERCENTAGES = [0, 25, 50, 75, 90, 97, 99]
+
+
+def make_pair(dup_pct):
+    dist = DuplicateDistribution(None)  # exactly uniform
+    return build_join_pair(
+        RelationSpec(N, dup_pct, dist),
+        RelationSpec(N, dup_pct, dist),
+        100.0,
+        bench_rng(),
+    )
+
+
+def run_graph8() -> SeriesCollector:
+    series = SeriesCollector(
+        f"Graph 8 — Join Test 5: vary duplicates, uniform dist. "
+        f"(|R|={N:,}; weighted op cost)",
+        "dup_pct",
+        JOIN_METHODS + ["result_size"],
+    )
+    for dup_pct in DUP_PERCENTAGES:
+        pair = make_pair(dup_pct)
+        stats = run_join_methods(pair.outer, pair.inner)
+        cells = {m: round(stats[m]["cost"]) for m in JOIN_METHODS}
+        cells["result_size"] = stats["hash_join"]["results"]
+        series.add(dup_pct, **cells)
+    return series
+
+
+def test_graph08_series():
+    series = run_graph8()
+    series.publish("graph08_join_dups_uniform")
+    sm = series.column("sort_merge")
+    tm = series.column("tree_merge")
+    # Tree Merge remains the best method through moderate duplicate
+    # percentages (paper: until ~97%)...
+    for i, pct in enumerate(DUP_PERCENTAGES):
+        if pct <= 90:
+            assert tm[i] < sm[i], pct
+            assert tm[i] < series.column("hash_join")[i], pct
+    # ...but at the extreme end the high-output join flips it to Sort
+    # Merge.
+    assert sm[-1] < tm[-1]
+    # The uniform output grows much more slowly than the skewed one: at
+    # 90% duplicates it is within ~15x the input, not hundreds of times.
+    sizes = series.column("result_size")
+    assert sizes[DUP_PERCENTAGES.index(90)] < 15 * N
+
+
+def test_join_dups_uniform_bench(benchmark):
+    pair = make_pair(75)
+    benchmark.pedantic(
+        lambda: run_join_methods(pair.outer, pair.inner, ["tree_merge"]),
+        rounds=1,
+        iterations=1,
+    )
+
+
+if __name__ == "__main__":
+    run_graph8().show()

@@ -1,0 +1,74 @@
+"""Graph 10 — the nested loops join, plotted alone on a log scale.
+
+"Due to the fact that its performance was usually several orders of
+magnitude worse than the other join methods, we were unable to present
+them on the same graphs ...  nested loops join should simply never be
+considered as a practical join method for a main memory DBMS."
+"""
+
+import pytest
+
+try:
+    from benchmarks.harness import SeriesCollector, bench_rng, scaled
+    from benchmarks.join_common import run_join_methods
+except ImportError:
+    from harness import SeriesCollector, bench_rng, scaled
+    from join_common import run_join_methods
+
+from repro.workloads import RelationSpec, build_join_pair
+
+#: The paper varies |R1| = |R2| from 1,000 to 20,000.
+CARDINALITIES = [scaled(n) for n in (1000, 2500, 5000, 10000, 20000)]
+
+
+def make_pair(n):
+    return build_join_pair(RelationSpec(n), RelationSpec(n), 100.0, bench_rng())
+
+
+def run_graph10() -> SeriesCollector:
+    series = SeriesCollector(
+        "Graph 10 — Nested Loops Join (|R1| = |R2|; weighted op cost)",
+        "tuples",
+        ["nested_loops", "hash_join", "ratio"],
+    )
+    for n in CARDINALITIES:
+        pair = make_pair(n)
+        stats = run_join_methods(
+            pair.outer, pair.inner, ["nested_loops", "hash_join"]
+        )
+        nl = stats["nested_loops"]["cost"]
+        hj = stats["hash_join"]["cost"]
+        series.add(
+            n,
+            nested_loops=round(nl),
+            hash_join=round(hj),
+            ratio=round(nl / hj, 1),
+        )
+    return series
+
+
+def test_graph10_series():
+    series = run_graph10()
+    series.publish("graph10_nested_loops")
+    nl = series.column("nested_loops")
+    ratios = series.column("ratio")
+    # Quadratic growth: 4x the data costs ~16x the work.
+    assert nl[-1] > 10 * nl[1]  # 2,000 -> 8x tuples => ~64x cost
+    # Orders of magnitude worse than a practical method, and the gap
+    # widens with size.
+    assert ratios[0] > 5
+    assert ratios[-1] > 50
+    assert ratios == sorted(ratios)
+
+
+def test_nested_loops_bench(benchmark):
+    pair = make_pair(scaled(2500))
+    benchmark.pedantic(
+        lambda: run_join_methods(pair.outer, pair.inner, ["nested_loops"]),
+        rounds=1,
+        iterations=1,
+    )
+
+
+if __name__ == "__main__":
+    run_graph10().show()

@@ -1,0 +1,66 @@
+"""Graph 11 — Project Test 1: vary |R| with no duplicates.
+
+Duplicate elimination over single-column relations; the hash table holds
+|R|/2 buckets.  "The insertion overhead in the hash table is linear for
+all values of |R| ... while the cost for sorting goes as O(|R| log |R|).
+As the number of tuples becomes large, this sorting cost dominates ...
+the Hashing method is the clear winner in this test."
+"""
+
+import pytest
+
+try:
+    from benchmarks.harness import SeriesCollector, bench_rng, measure, scaled
+except ImportError:
+    from harness import SeriesCollector, bench_rng, measure, scaled
+
+from repro.query.project import project_hash, project_sort_scan
+from repro.workloads import unique_keys
+
+CARDINALITIES = [scaled(n) for n in (3750, 7500, 15000, 22500, 30000)]
+
+
+def run_graph11() -> SeriesCollector:
+    series = SeriesCollector(
+        "Graph 11 — Project Test 1: vary |R| (no duplicates; "
+        "weighted op cost)",
+        "tuples",
+        ["hash", "sort_scan"],
+    )
+    for n in CARDINALITIES:
+        values = unique_keys(n, bench_rng())
+        __, hash_counters, __ = measure(lambda: project_hash(values))
+        __, sort_counters, __ = measure(lambda: project_sort_scan(values))
+        series.add(
+            n,
+            hash=round(hash_counters.weighted_cost()),
+            sort_scan=round(sort_counters.weighted_cost()),
+        )
+    return series
+
+
+def test_graph11_series():
+    series = run_graph11()
+    series.publish("graph11_project_cardinality")
+    hash_col = series.column("hash")
+    sort_col = series.column("sort_scan")
+    # Hashing wins at every cardinality.
+    for h, s in zip(hash_col, sort_col):
+        assert h < s
+    # Hashing is linear: cost per tuple roughly constant across the sweep.
+    per_tuple = [h / n for h, n in zip(hash_col, CARDINALITIES)]
+    assert max(per_tuple) < 1.4 * min(per_tuple)
+    # Sorting is super-linear: its per-tuple cost grows with |R|.
+    sort_per_tuple = [s / n for s, n in zip(sort_col, CARDINALITIES)]
+    assert sort_per_tuple[-1] > sort_per_tuple[0]
+
+
+@pytest.mark.parametrize("method", ["hash", "sort_scan"])
+def test_project_cardinality_bench(benchmark, method):
+    values = unique_keys(scaled(15000), bench_rng())
+    func = project_hash if method == "hash" else project_sort_scan
+    benchmark(lambda: func(values))
+
+
+if __name__ == "__main__":
+    run_graph11().show()

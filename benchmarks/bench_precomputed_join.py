@@ -1,0 +1,114 @@
+"""Section 2.1 — the precomputed join (Queries 1 and 2).
+
+Not one of the paper's graphs ("the precomputed join ... was not tested
+along with the other join methods.  Intuitively, it would beat each of
+the join methods in every case, because the joining tuples have already
+been paired") — this bench verifies that intuition inside the full
+MM-DBMS engine, comparing the pointer-following join against every other
+method on the Employee ⋈ Department workload, scaled up.
+"""
+
+import random
+
+import pytest
+
+try:
+    from benchmarks.harness import (
+        SeriesCollector,
+        bench_rng,
+        measure,
+        scaled,
+    )
+except ImportError:
+    from harness import SeriesCollector, bench_rng, measure, scaled
+
+from repro import Field, FieldType, ForeignKey, MainMemoryDatabase
+from repro.query.plan import REF_COLUMN, JoinNode, ScanNode
+
+N_DEPARTMENTS = scaled(3000)
+N_EMPLOYEES = scaled(30000)
+
+METHODS = ["precomputed", "hash", "sort_merge", "nested_loops"]
+
+
+def build_db():
+    db = MainMemoryDatabase()
+    db.create_relation(
+        "Department",
+        [Field("Name", FieldType.STR), Field("Id", FieldType.INT)],
+        primary_key="Id",
+    )
+    db.create_relation(
+        "Employee",
+        [
+            Field("Name", FieldType.STR),
+            Field("Id", FieldType.INT),
+            Field("Age", FieldType.INT),
+            Field(
+                "Dept_Id",
+                FieldType.INT,
+                references=ForeignKey("Department", "Id"),
+            ),
+        ],
+        primary_key="Id",
+    )
+    rng = bench_rng()
+    for dept_id in range(N_DEPARTMENTS):
+        db.insert("Department", [f"dept-{dept_id}", dept_id])
+    for emp_id in range(N_EMPLOYEES):
+        db.insert(
+            "Employee",
+            [
+                f"emp-{emp_id}",
+                emp_id,
+                rng.randrange(18, 70),
+                rng.randrange(N_DEPARTMENTS),
+            ],
+        )
+    return db
+
+
+def run_precomputed_comparison() -> SeriesCollector:
+    db = build_db()
+    series = SeriesCollector(
+        f"Precomputed Join — Employee({N_EMPLOYEES:,}) x "
+        f"Department({N_DEPARTMENTS:,}); weighted op cost",
+        "method",
+        ["cost", "seconds", "results"],
+    )
+    for method in METHODS:
+        plan = JoinNode(
+            ScanNode("Employee"), ScanNode("Department"),
+            "Dept_Id", REF_COLUMN, method,
+        )
+        result, counters, seconds = measure(lambda: db.execute(plan))
+        series.add(
+            method,
+            cost=round(counters.weighted_cost()),
+            seconds=round(seconds, 3),
+            results=len(result),
+        )
+    return series
+
+
+def test_precomputed_beats_every_method():
+    series = run_precomputed_comparison()
+    series.publish("precomputed_join")
+    costs = dict(zip(series.xs(), series.column("cost")))
+    results = series.column("results")
+    assert len(set(results)) == 1  # all methods agree
+    for method in METHODS[1:]:
+        assert costs["precomputed"] < costs[method], method
+
+
+def test_precomputed_join_bench(benchmark):
+    db = build_db()
+    plan = JoinNode(
+        ScanNode("Employee"), ScanNode("Department"),
+        "Dept_Id", REF_COLUMN, "precomputed",
+    )
+    benchmark.pedantic(lambda: db.execute(plan), rounds=1, iterations=2)
+
+
+if __name__ == "__main__":
+    run_precomputed_comparison().show()

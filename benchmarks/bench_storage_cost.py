@@ -1,0 +1,99 @@
+"""Section 3.2.2 "Storage Cost" — storage factor relative to the array.
+
+The paper reports factors rather than bytes: AVL = 3 (two node pointers
+per item), Chained Bucket Hashing = 2.3 (one chain pointer per item plus a
+partially unused table), Modified Linear Hashing similar to CBH at chain
+length 2 and approaching 2 as chains grow, and Linear Hashing / B-Trees /
+Extendible Hashing / T-Trees all near 1.5 for medium-to-large nodes, with
+Extendible Hashing blowing up at small node sizes (2, 4, 6) from repeated
+directory doubling.
+"""
+
+import pytest
+
+try:
+    from benchmarks.harness import SeriesCollector, bench_rng, scaled
+    from benchmarks.index_common import (
+        NODE_SIZED,
+        NODE_SIZES,
+        STRUCTURES,
+        build_index,
+        load_index,
+    )
+except ImportError:
+    from harness import SeriesCollector, bench_rng, scaled
+    from index_common import (
+        NODE_SIZED,
+        NODE_SIZES,
+        STRUCTURES,
+        build_index,
+        load_index,
+    )
+
+from repro.workloads import unique_keys
+
+N_KEYS = scaled(30000)
+
+
+def run_storage_cost() -> SeriesCollector:
+    rng = bench_rng()
+    keys = unique_keys(N_KEYS, rng)
+    series = SeriesCollector(
+        f"Storage Cost — factor over the array baseline "
+        f"({N_KEYS:,} elements)",
+        "node_size",
+        STRUCTURES,
+    )
+    flat = {}
+    for kind in STRUCTURES:
+        if kind in NODE_SIZED:
+            continue
+        index = load_index(build_index(kind, 0, N_KEYS), keys)
+        flat[kind] = round(index.storage_factor(), 2)
+    for node_size in NODE_SIZES:
+        cells = {}
+        for kind in STRUCTURES:
+            if kind in NODE_SIZED:
+                index = load_index(build_index(kind, node_size, N_KEYS), keys)
+                cells[kind] = round(index.storage_factor(), 2)
+            else:
+                cells[kind] = flat[kind]
+        series.add(node_size, **cells)
+    return series
+
+
+def test_storage_cost_series():
+    series = run_storage_cost()
+    series.publish("storage_cost")
+    mid = NODE_SIZES.index(20)
+    # The array is the baseline: exactly 1.0.
+    assert series.column("array")[mid] == pytest.approx(1.0)
+    # "The AVL Tree storage factor was 3."
+    assert series.column("avl")[mid] == pytest.approx(3.0, abs=0.01)
+    # "Chained Bucket Hashing had a storage factor of 2.3".
+    assert 2.0 <= series.column("chained_hash")[mid] <= 2.6
+    # "Linear Hashing, B Trees, Extendible Hashing and T Trees all had
+    # nearly equal storage factors of 1.5 for medium to large size nodes."
+    for kind in ("linear_hash", "btree", "extendible_hash", "ttree"):
+        for position in (mid, len(NODE_SIZES) - 1):
+            assert 1.0 <= series.column(kind)[position] <= 2.1, kind
+    # Extendible Hashing blows up at small node sizes.
+    eh = series.column("extendible_hash")
+    assert eh[0] > 2 * eh[mid]
+    # MLH approaches 2.0 (pointer per item) as chains grow and the
+    # directory amortises.
+    mlh = series.column("modified_linear_hash")
+    assert mlh[-1] == pytest.approx(2.0, abs=0.3)
+    assert mlh[0] >= mlh[-1]
+
+
+def test_storage_cost_bench(benchmark):
+    """Time the byte-accounting walk itself (cheap but tracked)."""
+    rng = bench_rng()
+    keys = unique_keys(scaled(30000), rng)
+    index = load_index(build_index("ttree", 20, len(keys)), keys)
+    benchmark(index.storage_bytes)
+
+
+if __name__ == "__main__":
+    run_storage_cost().show()

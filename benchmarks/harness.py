@@ -1,0 +1,165 @@
+"""Shared benchmark harness for the paper's graphs and tables.
+
+Every ``bench_graphNN_*.py`` module regenerates one figure of the paper's
+evaluation: it sweeps the same parameter the paper swept, runs the same
+algorithms, and prints the series as an aligned table.  Cost is reported
+in two units:
+
+* ``cost`` — the machine-independent weighted operation count
+  (:meth:`repro.instrument.OpCounters.weighted_cost`), the primary metric
+  (the paper itself validated wall-clock against these counts);
+* ``seconds`` — wall-clock, for reference (Python constant factors make
+  absolute times incomparable to the paper's VAX numbers, but relative
+  shapes hold).
+
+Sizes default to one tenth of the paper's (e.g. 3,000 instead of 30,000
+elements) so that ``pytest benchmarks/ --benchmark-only`` completes in
+minutes; set ``REPRO_FULL=1`` for the paper's full sizes.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.instrument import OpCounters, counters_scope
+
+#: Set REPRO_FULL=1 to run the paper's original cardinalities.
+FULL_SCALE = os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+#: Deterministic seed shared by every benchmark.
+SEED = 19860528  # SIGMOD'86 was held in late May 1986.
+
+
+def scaled(n: int, factor: int = 10) -> int:
+    """The paper's size ``n``, scaled down unless REPRO_FULL is set."""
+    return n if FULL_SCALE else max(1, n // factor)
+
+
+def bench_rng() -> random.Random:
+    """A fresh deterministic RNG."""
+    return random.Random(SEED)
+
+
+def measure(func: Callable[[], Any]) -> Tuple[Any, OpCounters, float]:
+    """Run ``func`` once, returning (result, counters, seconds)."""
+    with counters_scope() as counters:
+        start = time.perf_counter()
+        result = func()
+        elapsed = time.perf_counter() - start
+    return result, counters.snapshot(), elapsed
+
+
+def format_table(
+    title: str,
+    x_label: str,
+    columns: Sequence[str],
+    rows: Iterable[Tuple[Any, Sequence[Any]]],
+) -> str:
+    """Render a paper-style series table.
+
+    ``rows`` yields ``(x_value, [cell per column])``.  Numeric cells are
+    shown with thousands separators (counts) or 3 decimals (floats).
+    """
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:,.3f}"
+        if isinstance(value, int):
+            return f"{value:,}"
+        return str(value)
+
+    header = [x_label] + list(columns)
+    body = [[fmt(x)] + [fmt(c) for c in cells] for x, cells in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str,
+    x_label: str,
+    columns: Sequence[str],
+    rows: Iterable[Tuple[Any, Sequence[Any]]],
+) -> None:
+    """Print a series table with surrounding blank lines."""
+    print()
+    print(format_table(title, x_label, columns, rows))
+    print()
+
+
+def crossover_points(
+    series_a: Sequence[float], series_b: Sequence[float], xs: Sequence[Any]
+) -> List[Any]:
+    """X positions where series A and B swap order (shape checking)."""
+    points = []
+    for i in range(1, len(xs)):
+        before = series_a[i - 1] - series_b[i - 1]
+        after = series_a[i] - series_b[i]
+        if before * after < 0:
+            points.append(xs[i])
+    return points
+
+
+class SeriesCollector:
+    """Accumulates (x, {column: value}) points and renders them."""
+
+    def __init__(self, title: str, x_label: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.x_label = x_label
+        self.columns = list(columns)
+        self.points: List[Tuple[Any, Dict[str, Any]]] = []
+
+    def add(self, x: Any, **values: Any) -> None:
+        """Record one x position's cells (keyword per column)."""
+        self.points.append((x, values))
+
+    def column(self, name: str) -> List[Any]:
+        """One column's series, in insertion order."""
+        return [values.get(name) for __, values in self.points]
+
+    def xs(self) -> List[Any]:
+        """The x positions."""
+        return [x for x, __ in self.points]
+
+    def rows(self) -> List[Tuple[Any, List[Any]]]:
+        return [
+            (x, [values.get(c, "") for c in self.columns])
+            for x, values in self.points
+        ]
+
+    def show(self) -> None:
+        print_table(self.title, self.x_label, self.columns, self.rows())
+
+    def render(self) -> str:
+        return format_table(self.title, self.x_label, self.columns, self.rows())
+
+    def publish(self, name: str) -> None:
+        """Print the table and save it under benchmarks/results/.
+
+        pytest captures stdout by default; the saved file preserves the
+        regenerated series either way.
+        """
+        text = self.render()
+        print()
+        print(text)
+        print()
+        save_result(name, text)
+
+
+def save_result(name: str, text: str) -> str:
+    """Write a rendered table to ``benchmarks/results/<name>.txt``."""
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return path

@@ -1,0 +1,67 @@
+"""Shared construction logic for the index benchmarks (Graphs 1-2, S1).
+
+The paper reduced every structure's knobs to a single "node size" axis:
+for T-Trees and B-Trees it is the node capacity, for Extendible and Linear
+Hashing the bucket capacity, and for Modified Linear Hashing "the 'Node
+Size' axis in the graphs refers to the average overflow bucket chain
+length".  Arrays, AVL trees, and Chained Bucket Hashing have no node-size
+knob and plot as flat lines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from repro.indexes import INDEX_KINDS
+
+#: Graph x-axis, matching the paper's 2..100 sweep.
+NODE_SIZES = [2, 6, 10, 20, 40, 60, 80, 100]
+
+#: Display order: order-preserving structures then hash structures,
+#: mirroring the solid/dashed split of the paper's graphs.
+STRUCTURES = [
+    "array",
+    "avl",
+    "btree",
+    "ttree",
+    "chained_hash",
+    "extendible_hash",
+    "linear_hash",
+    "modified_linear_hash",
+]
+
+#: Structures whose cost varies with the node-size axis.
+NODE_SIZED = {"btree", "ttree", "extendible_hash", "linear_hash",
+              "modified_linear_hash"}
+
+
+def build_index(kind: str, node_size: int, expected: int):
+    """Instantiate ``kind`` configured for this node size and load."""
+    cls = INDEX_KINDS[kind]
+    if kind in ("btree", "ttree"):
+        size = max(3, node_size) if kind == "btree" else max(2, node_size)
+        return cls(unique=True, node_size=size)
+    if kind in ("extendible_hash", "linear_hash"):
+        return cls(unique=True, node_size=max(1, node_size))
+    if kind == "modified_linear_hash":
+        return cls(unique=True, chain_target=float(max(1, node_size)))
+    if kind == "chained_hash":
+        return cls.for_expected(expected, unique=True)
+    return cls(unique=True)  # array, avl
+
+
+def load_index(index, keys: Sequence[Any]):
+    """Bulk-insert keys (the paper's "create" phase)."""
+    if index.kind == "array":
+        # Loading an array by repeated sorted insert is quadratic; the
+        # paper builds arrays in bulk.  Storage/search behaviour is
+        # identical, so seed it directly.
+        from repro.indexes.array_index import ArrayIndex
+        from repro.query.sort import quicksort
+
+        loaded = ArrayIndex.build_unsorted(list(keys), unique=True)
+        loaded.sort_in_place(lambda items: quicksort(items))
+        return loaded
+    for key in keys:
+        index.insert(key)
+    return index

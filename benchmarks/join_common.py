@@ -1,0 +1,92 @@
+"""Shared machinery for the join benchmarks (Graphs 4-10).
+
+Each join test measures the four practical methods exactly as the paper
+charges them:
+
+* **Hash Join** — the Chained Bucket Hash build on the inner relation is
+  *included* ("we always include the cost of building a hash table");
+* **Tree Join** — probes a T-Tree on the inner relation that is assumed
+  to already exist (build excluded);
+* **Sort Merge** — array builds and quicksorts on both inputs *included*;
+* **Tree Merge** — both T-Trees assumed to exist (build excluded); only
+  the merge is measured.
+
+Costs are weighted operation counts (see :mod:`benchmarks.harness`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+try:
+    from benchmarks.harness import measure
+except ImportError:
+    from harness import measure
+
+from repro.indexes import TTreeIndex
+from repro.query.join import (
+    hash_join,
+    nested_loops_join,
+    sort_merge_join,
+    tree_join,
+    tree_merge_join,
+)
+
+#: Column order used by every join series.
+JOIN_METHODS = ["hash_join", "tree_join", "sort_merge", "tree_merge"]
+
+
+def identity(x):
+    return x
+
+
+def build_ttree(values: Sequence[int]) -> TTreeIndex:
+    """An 'already existing' T-Tree index over a join column."""
+    tree = TTreeIndex(unique=False)
+    for value in values:
+        tree.insert(value)
+    return tree
+
+
+def run_join_methods(
+    outer: Sequence[int],
+    inner: Sequence[int],
+    methods: Sequence[str] = JOIN_METHODS,
+) -> Dict[str, Dict[str, float]]:
+    """Execute each method; returns {method: {cost, seconds, results}}.
+
+    Result sizes are cross-checked across methods — a mismatch means an
+    implementation bug, so it raises immediately.
+    """
+    # Pre-built indexes are outside the measured region.
+    inner_tree = build_ttree(inner) if (
+        "tree_join" in methods or "tree_merge" in methods
+    ) else None
+    outer_tree = build_ttree(outer) if "tree_merge" in methods else None
+
+    runners = {
+        "hash_join": lambda: hash_join(outer, inner, identity, identity),
+        "tree_join": lambda: tree_join(outer, identity, inner_tree),
+        "sort_merge": lambda: sort_merge_join(outer, inner, identity, identity),
+        "tree_merge": lambda: tree_merge_join(outer_tree, inner_tree),
+        "nested_loops": lambda: nested_loops_join(
+            outer, inner, identity, identity
+        ),
+    }
+    stats: Dict[str, Dict[str, float]] = {}
+    sizes = set()
+    for method in methods:
+        result, counters, seconds = measure(runners[method])
+        stats[method] = {
+            "cost": counters.weighted_cost(),
+            "seconds": seconds,
+            "results": len(result),
+        }
+        sizes.add(len(result))
+    if len(sizes) > 1:
+        observed = {m: s["results"] for m, s in stats.items()}
+        raise AssertionError(
+            f"join methods disagree on result size: {observed}"
+        )
+    return stats

@@ -1,0 +1,182 @@
+"""A language-based editor backed by the MM-DBMS (the [HoT85] workload).
+
+The paper's introduction motivates memory-resident relational storage with
+emerging applications: "Horwitz and Teitelbaum have proposed using
+relational storage for program information in language-based editors ...
+Linton has also proposed the use of a database system as the basis for
+constructing program development environments."
+
+This example models a small program-development environment: relations
+for source files, procedures, and cross-references (which procedure calls
+which), kept incrementally up to date as the "editor" mutates the
+program, and queried with the kinds of questions an IDE asks — all
+through the paper's machinery (T-Tree indexes, hash indexes, pointer
+joins, duplicate elimination).
+
+Run:  python examples/program_editor.py
+"""
+
+import random
+
+from repro import (
+    Field,
+    FieldType,
+    ForeignKey,
+    MainMemoryDatabase,
+    eq,
+    gt,
+)
+
+N_FILES = 12
+N_PROCEDURES = 300
+N_CALLS = 1500
+
+
+def build_environment(rng: random.Random) -> MainMemoryDatabase:
+    db = MainMemoryDatabase()
+    db.create_relation(
+        "SourceFile",
+        [
+            Field("Id", FieldType.INT),
+            Field("Path", FieldType.STR),
+            Field("Lines", FieldType.INT),
+        ],
+        primary_key="Id",
+    )
+    db.create_relation(
+        "Procedure",
+        [
+            Field("Id", FieldType.INT),
+            Field("Name", FieldType.STR),
+            Field("File", FieldType.INT,
+                  references=ForeignKey("SourceFile", "Id")),
+            Field("FirstLine", FieldType.INT),
+            Field("Complexity", FieldType.INT),
+        ],
+        primary_key="Id",
+    )
+    # Call graph: Caller and Callee are both foreign keys into Procedure,
+    # materialised as tuple pointers — edge traversal is pointer chasing.
+    db.create_relation(
+        "Call",
+        [
+            Field("Id", FieldType.INT),
+            Field("Caller", FieldType.INT,
+                  references=ForeignKey("Procedure", "Id")),
+            Field("Callee", FieldType.INT,
+                  references=ForeignKey("Procedure", "Id")),
+            Field("Line", FieldType.INT),
+        ],
+        primary_key="Id",
+    )
+    # Secondary indexes an editor needs: name lookup must be exact-match
+    # fast (hash), line ranges need order (T-Tree).
+    db.create_index("Procedure", "by_name", "Name",
+                    kind="modified_linear_hash")
+    db.create_index("Procedure", "by_line", "FirstLine", kind="ttree")
+    db.create_index("Call", "by_caller", "Caller",
+                    kind="modified_linear_hash")
+    db.create_index("Call", "by_callee", "Callee",
+                    kind="modified_linear_hash")
+
+    for file_id in range(N_FILES):
+        db.insert(
+            "SourceFile", [file_id, f"src/module_{file_id}.c",
+                           rng.randrange(200, 2000)]
+        )
+    for proc_id in range(N_PROCEDURES):
+        db.insert(
+            "Procedure",
+            [
+                proc_id,
+                f"proc_{proc_id}",
+                rng.randrange(N_FILES),
+                rng.randrange(1, 1800),
+                rng.randrange(1, 60),
+            ],
+        )
+    for call_id in range(N_CALLS):
+        db.insert(
+            "Call",
+            [
+                call_id,
+                rng.randrange(N_PROCEDURES),
+                rng.randrange(N_PROCEDURES),
+                rng.randrange(1, 1800),
+            ],
+        )
+    return db
+
+
+def who_calls(db: MainMemoryDatabase, name: str) -> list:
+    """IDE query: find all callers of a procedure, by name.
+
+    Hash lookup on the name, then a pointer join from Call.Callee
+    (exact-match pointer comparison) back to Procedure.
+    """
+    target = db.select("Procedure", eq("Name", name))
+    if not len(target):
+        return []
+    target_ref = target[0][0]
+    call_index = db.relation("Call").index("by_callee")
+    calls = call_index.search_all(target_ref)
+    caller_names = []
+    for call_ref in calls:
+        caller_ptr = db.relation("Call").read_field(call_ref, "Caller")
+        caller_names.append(
+            db.relation("Procedure").read_field(caller_ptr, "Name")
+        )
+    return sorted(set(caller_names))
+
+
+def procedures_in_range(db, low, high):
+    """IDE query: which procedures start between two lines (T-Tree range)."""
+    from repro import between
+
+    result = db.select("Procedure", between("FirstLine", low, high))
+    return [d["Name"] for d in result.to_dicts()]
+
+
+def hotspots(db, threshold):
+    """IDE query: files containing complex procedures (join + dedupe)."""
+    complex_procs = db.join(
+        "Procedure", "SourceFile", on=("File", "Id"),
+        outer_predicate=gt("Complexity", threshold),
+    )
+    files = db.project(complex_procs, ["Path"], deduplicate=True)
+    return sorted(d["Path"] for d in files.to_dicts())
+
+
+def main() -> None:
+    rng = random.Random(60)
+    db = build_environment(rng)
+
+    # The editor "renames" a procedure: a plain indexed update.
+    victim = db.relation("Procedure").index("Procedure_pk").search(42)
+    db.update("Procedure", victim, "Name", "renamed_proc")
+    assert who_calls(db, "proc_42") == []  # old name gone from the index
+
+    callers = who_calls(db, "renamed_proc")
+    print(f"Callers of renamed_proc: {len(callers)} distinct procedures")
+    print("  ", callers[:8], "...")
+
+    nearby = procedures_in_range(db, 100, 160)
+    print(f"Procedures starting on lines 100-160: {len(nearby)}")
+
+    hot = hotspots(db, threshold=50)
+    print(f"Files containing very complex procedures: {hot}")
+
+    # Editing session: delete a procedure and its call edges, insert a
+    # replacement — the cross-reference indexes stay consistent.
+    dead = db.relation("Procedure").index("by_name").search("proc_99")
+    for index_name in ("by_caller", "by_callee"):
+        for call_ref in list(db.relation("Call").index(index_name).search_all(dead)):
+            db.delete("Call", call_ref)
+    db.delete("Procedure", dead)
+    db.insert("Procedure", [999, "proc_99_v2", 0, 10, 5])
+    assert who_calls(db, "proc_99") == []
+    print("Refactor applied; cross-references consistent.")
+
+
+if __name__ == "__main__":
+    main()

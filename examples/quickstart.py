@@ -1,0 +1,102 @@
+"""Quickstart: create a memory-resident database, query it, transact.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Field,
+    FieldType,
+    ForeignKey,
+    MainMemoryDatabase,
+    between,
+    eq,
+    gt,
+)
+
+
+def main() -> None:
+    db = MainMemoryDatabase()
+
+    # --- schema ------------------------------------------------------- #
+    # Every relation gets a unique T-Tree primary index automatically
+    # (relations may only be accessed through an index).
+    db.create_relation(
+        "Department",
+        [Field("Name", FieldType.STR), Field("Id", FieldType.INT)],
+        primary_key="Id",
+    )
+    db.create_relation(
+        "Employee",
+        [
+            Field("Name", FieldType.STR),
+            Field("Id", FieldType.INT),
+            Field("Age", FieldType.INT),
+            # A Date-style foreign key: stored as a tuple pointer, which
+            # is what makes the precomputed join possible.
+            Field("Dept_Id", FieldType.INT,
+                  references=ForeignKey("Department", "Id")),
+        ],
+        primary_key="Id",
+    )
+
+    # --- data --------------------------------------------------------- #
+    for name, dept_id in [("Toy", 459), ("Shoe", 409), ("Linen", 411)]:
+        db.insert("Department", [name, dept_id])
+    for row in [
+        ("Dave", 23, 24, 459),
+        ("Suzan", 12, 27, 459),
+        ("Yaman", 44, 54, 411),
+        ("Jane", 43, 47, 411),
+        ("Cindy", 22, 22, 409),
+    ]:
+        db.insert("Employee", list(row))
+
+    # --- selection ----------------------------------------------------- #
+    # The optimizer picks the access path: T-Tree exact lookup here.
+    print("Employee with Id 44:")
+    for row in db.select("Employee", eq("Id", 44)).to_dicts(resolve_refs=True):
+        print("  ", row)
+
+    # Range predicates use the ordered index.
+    db.create_index("Employee", "by_age", "Age", kind="ttree")
+    print("Employees aged 24-47:")
+    for row in db.select(
+        "Employee", between("Age", 24, 47)
+    ).to_dicts(resolve_refs=True):
+        print("  ", row)
+
+    # --- join ----------------------------------------------------------- #
+    # The foreign key makes this a precomputed (pointer-following) join.
+    result = db.join(
+        "Employee", "Department", on=("Dept_Id", "Id"),
+        outer_predicate=gt("Age", 25),
+    )
+    report = db.project(result, ["Employee.Name", "Age", "Department.Name"])
+    print("Employees over 25 with their departments:")
+    for row in report.to_dicts():
+        print("  ", row)
+
+    # --- projection with duplicate elimination -------------------------- #
+    departments_in_use = db.project(
+        db.select("Employee"), ["Dept_Id"], deduplicate=True
+    )
+    print(f"Departments with employees: {len(departments_in_use)}")
+
+    # --- transactions ---------------------------------------------------- #
+    # Strict 2PL at partition granularity, deferred updates.
+    with db.begin() as txn:
+        db.insert("Employee", ["Zoe", 99, 31, 409], txn=txn)
+        # Not visible until commit (deferred updates).
+        assert len(db.select("Employee", eq("Id", 99))) == 0
+    assert len(db.select("Employee", eq("Id", 99))) == 1
+    print("Transaction committed; Zoe hired.")
+
+    txn = db.begin()
+    db.insert("Employee", ["Ghost", 100, 30, 409], txn=txn)
+    txn.abort()
+    assert len(db.select("Employee", eq("Id", 100))) == 0
+    print("Transaction aborted; no trace of Ghost.")
+
+
+if __name__ == "__main__":
+    main()

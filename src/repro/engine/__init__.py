@@ -1,0 +1,5 @@
+"""The MM-DBMS engine facade."""
+
+from repro.engine.database import MainMemoryDatabase
+
+__all__ = ["MainMemoryDatabase"]

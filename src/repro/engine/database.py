@@ -1,0 +1,660 @@
+"""``MainMemoryDatabase`` — the public face of the MM-DBMS.
+
+Ties together the storage engine, index structures, query processor,
+optimizer, partition-level locking, and the recovery components of
+Figure 2.  A minimal session::
+
+    db = MainMemoryDatabase()
+    db.create_relation(
+        "Department",
+        [Field("Name", FieldType.STR), Field("Id", FieldType.INT)],
+        primary_key="Id",
+    )
+    db.create_relation(
+        "Employee",
+        [
+            Field("Name", FieldType.STR),
+            Field("Id", FieldType.INT),
+            Field("Age", FieldType.INT),
+            Field("Dept_Id", FieldType.INT,
+                  references=ForeignKey("Department", "Id")),
+        ],
+        primary_key="Id",
+    )
+    db.insert("Department", ["Toy", 459])
+    db.insert("Employee", ["Dave", 23, 24, 459])   # Dept_Id becomes a pointer
+    result = db.select("Employee", gt("Age", 21))
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import (
+    CatalogError,
+    QueryError,
+    SchemaError,
+    TransactionError,
+)
+from repro.query.executor import Executor
+from repro.query.optimizer import Optimizer
+from repro.query.predicates import Comparison, Conjunction, Disjunction, Op
+from repro.query.plan import (
+    REF_COLUMN,
+    JoinNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+)
+from repro.query.predicates import Predicate
+from repro.query.project import project_hash, project_sort_scan
+from repro.recovery.restart import RecoveryManager, RestartStats
+from repro.storage.catalog import Catalog
+from repro.storage.partition import Partition, PartitionConfig
+from repro.storage.relation import Relation
+from repro.storage.schema import Field, FieldType, Schema
+from repro.storage.temporary import TemporaryList
+from repro.storage.tuples import TupleRef
+from repro.txn.locks import LockMode
+from repro.txn.transaction import Transaction, TransactionManager
+
+
+class _NeverMatches(Predicate):
+    """A predicate that matches nothing (an FK equality on an absent
+    referenced key — the join partner does not exist)."""
+
+    def __init__(self, field_name: str) -> None:
+        self.field_name = field_name
+
+    def matches(self, read_field) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"({self.field_name} matches nothing)"
+
+
+class _FKValueComparison(Predicate):
+    """Ordered comparison on a foreign-key column's *referenced value*.
+
+    Follows the stored tuple pointer to the referenced relation's key
+    field, then applies the original comparison to that value.  NULL
+    pointers never match (SQL comparison semantics).
+    """
+
+    def __init__(self, comparison: Comparison, target, key_field: str) -> None:
+        self.comparison = comparison
+        self.target = target
+        self.key_field = key_field
+
+    def matches(self, read_field) -> bool:
+        pointer = read_field(self.comparison.field)
+        if pointer is None:
+            return False
+        value = self.target.read_field(pointer, self.key_field)
+        return self.comparison.matches(
+            lambda __: value
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"(follow {self.comparison!r})"
+
+
+class MainMemoryDatabase:
+    """A memory-resident relational database (the paper's MM-DBMS).
+
+    Parameters
+    ----------
+    durable:
+        When true, every update writes a log record to the stable log
+        buffer and the Figure 2 recovery machinery (simulated disk, log
+        device, change-accumulation log) is active.  When false the
+        database is volatile — the configuration the paper's query
+        processing experiments ran in.
+    """
+
+    def __init__(self, durable: bool = False) -> None:
+        self.catalog = Catalog()
+        self.optimizer = Optimizer(self.catalog)
+        self.executor = Executor(self.catalog)
+        self.transactions = TransactionManager()
+        self.durable = durable
+        self.recovery: Optional[RecoveryManager] = (
+            RecoveryManager(self.catalog) if durable else None
+        )
+        # The transaction id used for log records when no transaction is
+        # active (each autocommit op commits immediately).
+        self._autocommit_lock = threading.Lock()
+        self._txn_local = threading.local()
+
+    # ------------------------------------------------------------------ #
+    # schema operations
+    # ------------------------------------------------------------------ #
+
+    def create_relation(
+        self,
+        name: str,
+        fields: Sequence[Field],
+        primary_key: Optional[str] = None,
+        primary_index_kind: str = "ttree",
+        partition_config: PartitionConfig = None,
+    ) -> Relation:
+        """Create a relation with its mandatory primary index.
+
+        ``primary_key`` names the uniquely indexed field (defaults to the
+        first field).  The primary index is a unique T-Tree unless
+        ``primary_index_kind`` overrides it — T-Trees are the design's
+        general-purpose index (Section 2.2).
+        """
+        schema = Schema(fields)
+        relation = self.catalog.create_relation(name, schema, partition_config)
+        key_field = primary_key if primary_key is not None else fields[0].name
+        schema.position(key_field)  # validates
+        relation.create_index(
+            f"{name}_pk", key_field, kind=primary_index_kind, unique=True
+        )
+        if self.durable:
+            relation.change_listener = self._make_change_listener(relation)
+        relation.fk_resolver = self._resolve_fk_pointer
+        return relation
+
+    def _resolve_fk_pointer(self, references, pointer: TupleRef) -> Any:
+        """Follow a foreign-key pointer to the referenced key value."""
+        target = self.catalog.relation(references.relation)
+        return target.read_field(pointer, references.field)
+
+    def create_index(
+        self,
+        relation_name: str,
+        index_name: str,
+        field_name: str,
+        kind: str = "ttree",
+        unique: bool = False,
+        **options: Any,
+    ):
+        """Add a secondary index (see :data:`repro.indexes.INDEX_KINDS`)."""
+        relation = self.catalog.relation(relation_name)
+        return relation.create_index(
+            index_name, field_name, kind, unique, **options
+        )
+
+    def relation(self, name: str) -> Relation:
+        """Catalog lookup."""
+        return self.catalog.relation(name)
+
+    # ------------------------------------------------------------------ #
+    # logging plumbing
+    # ------------------------------------------------------------------ #
+
+    def _make_change_listener(self, relation: Relation):
+        def listener(event: Dict[str, Any]) -> None:
+            txn_id = getattr(self._txn_local, "txn_id", None)
+            manager = self.recovery
+            partition_id = event["partition"]
+            if not manager.disk.has_partition(relation.name, partition_id):
+                # First touch of a brand-new partition: write its empty
+                # base image so log replay has a starting point.
+                base = Partition(partition_id, relation.partition_config)
+                manager.disk.write_partition(
+                    relation.name, partition_id, base.to_bytes()
+                )
+            payload = {
+                key: value
+                for key, value in event.items()
+                if key not in ("kind", "relation", "partition")
+            }
+            effective_txn = txn_id if txn_id is not None else 0
+            manager.stable_log.append(
+                effective_txn,
+                relation.name,
+                partition_id,
+                event["kind"],
+                payload,
+            )
+            if txn_id is None:
+                # Autocommit: the single record commits immediately.
+                manager.stable_log.commit(effective_txn)
+
+        return listener
+
+    # ------------------------------------------------------------------ #
+    # transactions
+    # ------------------------------------------------------------------ #
+
+    def begin(self) -> Transaction:
+        """Start a transaction (strict 2PL, deferred updates)."""
+        txn = self.transactions.begin()
+        if self.durable:
+            txn.on_commit = self._seal_txn_log
+            txn.on_abort = self._drop_txn_log
+        original_commit = txn.commit
+
+        def commit_with_context() -> None:
+            self._txn_local.txn_id = txn.id
+            try:
+                original_commit()
+            finally:
+                self._txn_local.txn_id = None
+
+        txn.commit = commit_with_context
+        return txn
+
+    def _seal_txn_log(self, txn: Transaction) -> None:
+        self.recovery.stable_log.commit(txn.id)
+
+    def _drop_txn_log(self, txn: Transaction) -> None:
+        self.recovery.stable_log.abort(txn.id)
+
+    # ------------------------------------------------------------------ #
+    # data modification
+    # ------------------------------------------------------------------ #
+
+    def _resolve_row(
+        self, relation: Relation, values: Union[Sequence[Any], Dict[str, Any]]
+    ) -> List[Any]:
+        """Validate a logical row and materialise its foreign keys.
+
+        Each declared foreign-key value is looked up in the referenced
+        relation's index and replaced by the target's tuple pointer —
+        the Section 2.1 substitution that enables precomputed joins.
+        ``None`` foreign keys stay ``None`` (a null pointer).
+        """
+        schema = relation.schema
+        if isinstance(values, dict):
+            try:
+                row = [values[f.name] for f in schema.fields]
+            except KeyError as exc:
+                raise SchemaError(f"missing field {exc.args[0]!r}") from None
+        else:
+            row = list(values)
+        schema.validate_row(row)
+        for position, field in enumerate(schema.fields):
+            fk = field.references
+            if fk is None or row[position] is None:
+                continue
+            target = self.catalog.relation(fk.relation)
+            index = target.index_on(fk.field)
+            if index is None:
+                raise SchemaError(
+                    f"foreign key {relation.name}.{field.name} needs an "
+                    f"index on {fk.relation}.{fk.field}"
+                )
+            ref = index.search(row[position])
+            if ref is None:
+                raise QueryError(
+                    f"foreign key violation: {fk.relation}.{fk.field} has "
+                    f"no value {row[position]!r}"
+                )
+            row[position] = target.resolve(ref)
+        return row
+
+    def insert(
+        self,
+        relation_name: str,
+        values: Union[Sequence[Any], Dict[str, Any]],
+        txn: Optional[Transaction] = None,
+    ) -> Optional[TupleRef]:
+        """Insert one tuple.
+
+        Without ``txn`` the insert applies (and, in durable mode, logs
+        and commits) immediately and returns the new tuple pointer.
+        With ``txn`` it is deferred to commit and returns None; the
+        relation-level resource is locked exclusively first (the new
+        tuple's partition is unknown until the insert applies).
+        """
+        relation = self.catalog.relation(relation_name)
+        row = self._resolve_row(relation, values)
+        if txn is None:
+            return relation.insert(row)
+        txn.lock_exclusive(relation_name, None)
+
+        def apply_insert() -> Any:
+            ref = relation.insert(row)
+            return lambda: relation.delete(ref)
+
+        txn.add_intention(apply_insert)
+        return None
+
+    def delete(
+        self,
+        relation_name: str,
+        ref: TupleRef,
+        txn: Optional[Transaction] = None,
+    ) -> None:
+        """Delete the tuple behind ``ref`` (deferred when in a txn)."""
+        relation = self.catalog.relation(relation_name)
+        if txn is None:
+            relation.delete(ref)
+            return
+        canonical = relation.resolve(ref)
+        txn.lock_exclusive(relation_name, canonical.partition_id)
+
+        def apply_delete() -> Any:
+            old_row = relation.fetch(canonical)
+            relation.delete(canonical)
+            return lambda: relation.insert(old_row)
+
+        txn.add_intention(apply_delete)
+
+    def update(
+        self,
+        relation_name: str,
+        ref: TupleRef,
+        field_name: str,
+        value: Any,
+        txn: Optional[Transaction] = None,
+    ) -> None:
+        """Update one field (deferred when in a txn).
+
+        Updating a foreign-key field re-resolves the pointer.
+        """
+        relation = self.catalog.relation(relation_name)
+        field = relation.schema.field(field_name)
+        physical_value = value
+        if field.references is not None and value is not None:
+            target = self.catalog.relation(field.references.relation)
+            index = target.index_on(field.references.field)
+            if index is None:
+                raise SchemaError(
+                    f"foreign key {relation_name}.{field_name} needs an "
+                    f"index on {field.references.relation}."
+                    f"{field.references.field}"
+                )
+            found = index.search(value)
+            if found is None:
+                raise QueryError(
+                    f"foreign key violation: {field.references.relation}."
+                    f"{field.references.field} has no value {value!r}"
+                )
+            physical_value = target.resolve(found)
+        if txn is None:
+            relation.update(ref, field_name, physical_value)
+            return
+        canonical = relation.resolve(ref)
+        txn.lock_exclusive(relation_name, canonical.partition_id)
+
+        def apply_update() -> Any:
+            old_value = relation.read_field(canonical, field_name)
+            relation.update(canonical, field_name, physical_value)
+            return lambda: relation.update(canonical, field_name, old_value)
+
+        txn.add_intention(apply_update)
+
+    def fetch(
+        self,
+        relation_name: str,
+        ref: TupleRef,
+        txn: Optional[Transaction] = None,
+    ) -> Dict[str, Any]:
+        """Materialise a tuple as a dict of logical values.
+
+        REF fields are presented as the referenced key value (following
+        the pointer), matching the paper's "simply follow the pointer to
+        the foreign relation tuple to obtain the desired value".
+
+        With ``txn``, the tuple's partition is share-locked first —
+        required for read-modify-write transactions (the S lock upgrades
+        to X at the subsequent update, and conflicting upgrades resolve
+        by deadlock detection).
+        """
+        relation = self.catalog.relation(relation_name)
+        if txn is not None:
+            canonical = relation.resolve(ref)
+            txn.lock_shared(relation_name, canonical.partition_id)
+        row = relation.fetch(ref)
+        result: Dict[str, Any] = {}
+        for field, value in zip(relation.schema.fields, row):
+            if field.references is not None and isinstance(value, TupleRef):
+                target = self.catalog.relation(field.references.relation)
+                value = target.read_field(value, field.references.field)
+            result[field.name] = value
+        return result
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def execute(self, plan: PlanNode) -> TemporaryList:
+        """Run an explicit plan."""
+        return self.executor.execute(plan)
+
+    # ------------------------------------------------------------------ #
+    # foreign-key-aware predicates
+    # ------------------------------------------------------------------ #
+
+    def _rewrite_fk_predicate(
+        self, relation_name: str, predicate: Optional[Predicate]
+    ) -> Optional[Predicate]:
+        """Make predicates on foreign-key columns behave logically.
+
+        A FK column physically stores a tuple pointer, so a literal
+        comparison against it would never match.  Equality predicates are
+        rewritten to compare against the *resolved pointer* (preserving
+        index lookups); ordered predicates are rewritten to follow the
+        pointer and compare the referenced key value.
+        """
+        if predicate is None:
+            return None
+        relation = self.catalog.relation(relation_name)
+        if isinstance(predicate, Conjunction):
+            return Conjunction(
+                tuple(
+                    self._rewrite_fk_predicate(relation_name, part)
+                    for part in predicate.parts
+                )
+            )
+        if isinstance(predicate, Disjunction):
+            return Disjunction(
+                tuple(
+                    self._rewrite_fk_predicate(relation_name, part)
+                    for part in predicate.parts
+                )
+            )
+        if not isinstance(predicate, Comparison):
+            return predicate
+        if predicate.field not in relation.schema.names:
+            return predicate
+        logical = relation.schema.field(predicate.field)
+        if logical.references is None:
+            return predicate
+        if isinstance(predicate.value, TupleRef):
+            return predicate  # caller already speaks pointers
+        target = self.catalog.relation(logical.references.relation)
+        index = target.index_on(logical.references.field)
+        if predicate.op is Op.EQ and predicate.value is not None:
+            found = index.search(predicate.value) if index else None
+            if found is None:
+                return _NeverMatches(predicate.field)
+            return Comparison(
+                predicate.field, Op.EQ, target.resolve(found)
+            )
+        return _FKValueComparison(
+            predicate, target, logical.references.field
+        )
+
+    def select(
+        self,
+        relation_name: str,
+        predicate: Optional[Predicate] = None,
+        txn: Optional[Transaction] = None,
+    ) -> TemporaryList:
+        """Optimized single-relation selection.
+
+        Under a transaction the relation-level resource is share-locked
+        (coarse, as the paper argues short transactions allow).
+        Predicates on foreign-key columns compare logically (see
+        :meth:`_rewrite_fk_predicate`).
+        """
+        if txn is not None:
+            txn.lock((relation_name, None), LockMode.SHARED)
+        predicate = self._rewrite_fk_predicate(relation_name, predicate)
+        plan = self.optimizer.plan_selection(relation_name, predicate)
+        return self.executor.execute(plan)
+
+    def join(
+        self,
+        outer_name: str,
+        inner_name: str,
+        on: Tuple[str, str],
+        method: str = "auto",
+        outer_predicate: Optional[Predicate] = None,
+        inner_predicate: Optional[Predicate] = None,
+        op: str = "=",
+    ) -> TemporaryList:
+        """Two-relation join; ``method='auto'`` applies Section 4's
+        preference order, or force one of the JOIN_METHODS.
+
+        ``op`` other than "=" runs a non-equijoin (Section 3.3.5): the
+        ordered ops ("<", "<=", ">", ">=") use a T-Tree on the inner
+        column when one exists, else nested loops; "!=" always nested
+        loops.
+        """
+        outer_col, inner_col = on
+        # Accept "Table.field" qualifiers when they name the respective
+        # relation (the SQL layer passes them through verbatim).
+        if "." in outer_col:
+            qualifier, bare = outer_col.rsplit(".", 1)
+            if qualifier == outer_name:
+                outer_col = bare
+        if "." in inner_col:
+            qualifier, bare = inner_col.rsplit(".", 1)
+            if qualifier == inner_name:
+                inner_col = bare
+        outer_predicate = self._rewrite_fk_predicate(outer_name, outer_predicate)
+        inner_predicate = self._rewrite_fk_predicate(inner_name, inner_predicate)
+        if op != "=":
+            left = self.optimizer.plan_selection(outer_name, outer_predicate)
+            inner_rel = self.catalog.relation(inner_name)
+            usable_tree = (
+                op != "!="
+                and inner_predicate is None
+                and inner_rel.index_on(inner_col, ordered=True) is not None
+            )
+            if usable_tree:
+                plan = JoinNode(
+                    left, ScanNode(inner_name), outer_col, inner_col,
+                    "tree", op,
+                )
+            else:
+                right = self.optimizer.plan_selection(
+                    inner_name, inner_predicate
+                )
+                plan = JoinNode(
+                    left, right, outer_col, inner_col, "nested_loops", op
+                )
+        elif method == "auto":
+            plan = self.optimizer.plan_join(
+                outer_name, inner_name, outer_col, inner_col,
+                outer_predicate, inner_predicate,
+            )
+        else:
+            left = self.optimizer.plan_selection(outer_name, outer_predicate)
+            if method in ("tree", "tree_merge", "precomputed"):
+                left = (
+                    ScanNode(outer_name)
+                    if method == "tree_merge"
+                    else left
+                )
+                right: PlanNode = ScanNode(inner_name)
+            else:
+                right = self.optimizer.plan_selection(
+                    inner_name, inner_predicate
+                )
+            join_col = inner_col
+            if method == "precomputed":
+                join_col = REF_COLUMN
+            elif self._fk_matches(outer_name, outer_col, inner_name, inner_col):
+                # The outer column physically stores a tuple pointer; a
+                # value comparison against the inner key would never
+                # match.  Compare pointers instead — the paper's Query 2.
+                join_col = REF_COLUMN
+            plan = JoinNode(left, right, outer_col, join_col, method)
+        return self.executor.execute(plan)
+
+    def _fk_matches(
+        self, outer_name: str, outer_col: str, inner_name: str, inner_col: str
+    ) -> bool:
+        """Whether outer_col is a FK pointer into inner_name.inner_col."""
+        outer = self.catalog.relation(outer_name)
+        if outer_col not in outer.schema.names:
+            return False
+        logical = outer.schema.field(outer_col)
+        return (
+            logical.references is not None
+            and logical.references.relation == inner_name
+            and logical.references.field == inner_col
+        )
+
+    def project(
+        self,
+        result: TemporaryList,
+        columns: Sequence[str],
+        deduplicate: bool = False,
+        method: str = "hash",
+    ) -> TemporaryList:
+        """Descriptor projection with optional duplicate elimination."""
+        projected = result.project(list(columns))
+        if not deduplicate:
+            return projected
+        extractors = [projected.value_extractor(name) for name in columns]
+
+        def row_key(row: Tuple[TupleRef, ...]) -> Tuple[Any, ...]:
+            return tuple(extract(row) for extract in extractors)
+
+        dedupe = project_hash if method == "hash" else project_sort_scan
+        rows = dedupe(projected.rows(), row_key)
+        return TemporaryList(projected.descriptor, rows)
+
+    def explain(self, plan: PlanNode) -> str:
+        """Render a plan tree."""
+        return plan.explain()
+
+    def sql(self, text: str):
+        """Run one SQL statement (see :mod:`repro.sql` for the dialect).
+
+        Returns a :class:`TemporaryList` for SELECT, a plan string for
+        EXPLAIN, a list of tuple pointers for INSERT, an affected-row
+        count for UPDATE/DELETE, and None for DDL.
+        """
+        from repro.sql.interpreter import SQLInterpreter
+
+        if not hasattr(self, "_sql_interpreter"):
+            self._sql_interpreter = SQLInterpreter(self)
+        return self._sql_interpreter.execute(text)
+
+    # ------------------------------------------------------------------ #
+    # recovery controls (durable mode)
+    # ------------------------------------------------------------------ #
+
+    def _require_durable(self) -> RecoveryManager:
+        if self.recovery is None:
+            raise TransactionError(
+                "this database is volatile; construct with durable=True "
+                "for recovery support"
+            )
+        return self.recovery
+
+    def checkpoint(self) -> int:
+        """Full checkpoint of every partition to the disk copy."""
+        return self._require_durable().checkpoint_all()
+
+    def propagate_log(self, max_partitions: Optional[int] = None) -> int:
+        """Let the log device push accumulated changes to the disk copy."""
+        manager = self._require_durable()
+        manager.log_device.absorb()
+        return manager.log_device.propagate(max_partitions)
+
+    def crash(self) -> None:
+        """Simulate loss of main memory (Figure 2 drill)."""
+        self._require_durable().crash()
+
+    def recover(
+        self,
+        working_set: Optional[Sequence[Tuple[str, int]]] = None,
+    ) -> RestartStats:
+        """Restart after a crash; see :class:`RecoveryManager.restart`."""
+        return self._require_durable().restart(working_set)
+
+    def finish_recovery(self) -> int:
+        """Drain the background reload queue."""
+        return self._require_durable().finish_background_reload()

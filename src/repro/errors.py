@@ -1,0 +1,88 @@
+"""Exception hierarchy for the MM-DBMS reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema definition or schema lookup is invalid."""
+
+
+class StorageError(ReproError):
+    """A storage-layer operation failed (partition, heap, tuple access)."""
+
+
+class PartitionFullError(StorageError):
+    """A partition has no free slot for a new tuple."""
+
+
+class HeapOverflowError(StorageError):
+    """A partition's variable-length heap has no room for a value."""
+
+
+class DanglingPointerError(StorageError):
+    """A :class:`~repro.storage.tuples.TupleRef` points at a deleted slot."""
+
+
+class IndexError_(ReproError):
+    """Base class for index-structure errors.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class DuplicateKeyError(IndexError_):
+    """An insert violated a unique-index constraint."""
+
+
+class KeyNotFoundError(IndexError_):
+    """A delete or lookup referenced a key that is not in the index."""
+
+
+class UnsupportedOperationError(IndexError_):
+    """The index does not support the requested operation.
+
+    For example, range scans on hash indexes, or updates on a read-only
+    array index used during a merge join.
+    """
+
+
+class QueryError(ReproError):
+    """A query-processing operation was mis-specified."""
+
+
+class PlanError(QueryError):
+    """A query plan is structurally invalid."""
+
+
+class TransactionError(ReproError):
+    """A transaction-layer failure."""
+
+
+class DeadlockError(TransactionError):
+    """The lock manager detected a deadlock; the transaction must abort."""
+
+
+class LockTimeoutError(TransactionError):
+    """A lock request could not be granted within its bound."""
+
+
+class TransactionAborted(TransactionError):
+    """Operation attempted on a transaction that has already aborted."""
+
+
+class RecoveryError(ReproError):
+    """The recovery subsystem failed to restore a consistent database."""
+
+
+class CatalogError(ReproError):
+    """A catalog lookup failed or a name clashed."""

@@ -1,0 +1,77 @@
+"""Main-memory index structures (paper Section 3.2).
+
+All eight structures from the paper's index study are implemented:
+
+===========================  =============================================
+Structure                    Module
+===========================  =============================================
+Array index [AHK85]          :mod:`repro.indexes.array_index`
+AVL Tree [AHU74]             :mod:`repro.indexes.avl_tree`
+B-Tree (original) [Com79]    :mod:`repro.indexes.btree`
+**T-Tree** [LeC85]           :mod:`repro.indexes.ttree`
+Chained Bucket Hash [Knu73]  :mod:`repro.indexes.chained_hash`
+Extendible Hash [FNP79]      :mod:`repro.indexes.extendible_hash`
+Linear Hash [Lit80]          :mod:`repro.indexes.linear_hash`
+Modified Linear Hash [LeC85] :mod:`repro.indexes.modified_linear_hash`
+===========================  =============================================
+
+Indexes are built "in a main memory style" (Section 3.2.2): they store
+*items* (tuple pointers in the DBMS, plain keys in standalone benchmarks)
+and obtain each item's key through a caller-supplied extractor, never
+copying key values into the structure.
+"""
+
+from repro.indexes.array_index import ArrayIndex
+from repro.indexes.avl_tree import AVLTreeIndex
+from repro.indexes.base import Index, OrderedIndex, identity_key
+from repro.indexes.bplus_tree import BPlusTreeIndex
+from repro.indexes.btree import BTreeIndex
+from repro.indexes.chained_hash import ChainedBucketHashIndex
+from repro.indexes.extendible_hash import ExtendibleHashIndex
+from repro.indexes.linear_hash import LinearHashIndex
+from repro.indexes.modified_linear_hash import ModifiedLinearHashIndex
+from repro.indexes.ttree import TTreeIndex
+
+#: Registry used by relations and benchmarks to construct indexes by name.
+#: "bplus" is not one of the paper's eight structures — it exists to
+#: verify footnote 3 (see bench_ablation_bplus.py).
+INDEX_KINDS = {
+    "array": ArrayIndex,
+    "avl": AVLTreeIndex,
+    "btree": BTreeIndex,
+    "bplus": BPlusTreeIndex,
+    "ttree": TTreeIndex,
+    "chained_hash": ChainedBucketHashIndex,
+    "extendible_hash": ExtendibleHashIndex,
+    "linear_hash": LinearHashIndex,
+    "modified_linear_hash": ModifiedLinearHashIndex,
+}
+
+#: The order-preserving subset (solid lines in the paper's graphs).
+ORDERED_KINDS = ("array", "avl", "btree", "ttree")
+
+#: The hash-based subset (dashed lines in the paper's graphs).
+HASH_KINDS = (
+    "chained_hash",
+    "extendible_hash",
+    "linear_hash",
+    "modified_linear_hash",
+)
+
+__all__ = [
+    "ArrayIndex",
+    "AVLTreeIndex",
+    "BPlusTreeIndex",
+    "BTreeIndex",
+    "ChainedBucketHashIndex",
+    "ExtendibleHashIndex",
+    "HASH_KINDS",
+    "INDEX_KINDS",
+    "Index",
+    "LinearHashIndex",
+    "ModifiedLinearHashIndex",
+    "ORDERED_KINDS",
+    "OrderedIndex",
+    "TTreeIndex",
+    "identity_key",
+]

@@ -1,0 +1,186 @@
+"""The array index [AHK85]: a sorted array of items.
+
+The paper uses the array as the *read-only* ordered index: "It is easy to
+build and scan, but it is useful only as a read-only index because it does
+not handle updates well" (Section 2.2).  Every insert or delete moves half
+of the array on average, which is exactly why Graph 2 shows it two orders
+of magnitude slower than everything else under a query mix.  It is also the
+storage-cost baseline (one pointer per item, nothing else) and the backing
+structure for the sort-merge join.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional
+
+from repro.errors import DuplicateKeyError
+from repro.indexes.base import POINTER_BYTES, OrderedIndex, compare_keys
+from repro.instrument import count_compare, count_move, count_traverse
+
+
+class ArrayIndex(OrderedIndex):
+    """A sorted dynamic array of items with binary search.
+
+    The binary search performs arithmetic on positions (unlike a binary
+    *tree* search which just follows pointers); the paper notes this
+    overhead makes array search slightly slower than AVL search.  The cost
+    model charges one traversal-equivalent per probe for that arithmetic,
+    which is what places the array between AVL and B-Tree in Graph 1.
+    """
+
+    kind = "array"
+
+    def __init__(
+        self,
+        key_of: Callable[[Any], Any] = None,
+        unique: bool = True,
+        items: List[Any] = None,
+        presorted: bool = False,
+    ) -> None:
+        """``items`` seeds the array; pass ``presorted=True`` to skip the
+        sort when the caller guarantees ascending key order."""
+        super().__init__(key_of, unique)
+        self._items: List[Any] = list(items) if items else []
+        if self._items and not presorted:
+            self._items.sort(key=self.key_of)
+        self._count = len(self._items)
+
+    # ------------------------------------------------------------------ #
+    # binary search helpers
+    # ------------------------------------------------------------------ #
+
+    def _lower_bound(self, key: Any) -> int:
+        """First position whose key is >= ``key`` (counted probes).
+
+        Each probe also counts one traversal-equivalent: "the overhead of
+        the arithmetic calculation and movement of pointers is noticeable"
+        versus the hardwired binary search of a binary tree (Graph 1).
+        """
+        lo, hi = 0, len(self._items)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            count_compare()
+            count_traverse()
+            if self.key_of(self._items[mid]) < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _upper_bound(self, key: Any) -> int:
+        """First position whose key is > ``key`` (counted probes)."""
+        lo, hi = 0, len(self._items)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            count_compare()
+            count_traverse()
+            if key < self.key_of(self._items[mid]):
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    # ------------------------------------------------------------------ #
+    # Index API
+    # ------------------------------------------------------------------ #
+
+    def insert(self, item: Any) -> None:
+        key = self.key_of(item)
+        pos = self._lower_bound(key)
+        if self.unique and pos < len(self._items):
+            if compare_keys(self.key_of(self._items[pos]), key) == 0:
+                raise DuplicateKeyError(f"array: duplicate key {key!r}")
+        # Shifting the tail is the array's Achilles heel: |R|/2 moves on
+        # average (Section 3.2.2, "Every update requires moving half of
+        # the array, on the average").
+        count_move(len(self._items) - pos + 1)
+        self._items.insert(pos, item)
+        self._count += 1
+
+    def delete(self, item: Any) -> None:
+        key = self.key_of(item)
+        pos = self._lower_bound(key)
+        while pos < len(self._items):
+            candidate = self._items[pos]
+            if compare_keys(self.key_of(candidate), key) != 0:
+                break
+            if candidate == item:
+                count_move(len(self._items) - pos)
+                del self._items[pos]
+                self._count -= 1
+                return
+            pos += 1
+        raise self._missing(key)
+
+    def search(self, key: Any) -> Optional[Any]:
+        pos = self._lower_bound(key)
+        if pos < len(self._items):
+            item = self._items[pos]
+            if compare_keys(self.key_of(item), key) == 0:
+                return item
+        return None
+
+    def search_all(self, key: Any) -> List[Any]:
+        lo = self._lower_bound(key)
+        hi = self._upper_bound(key)
+        count_compare(max(0, hi - lo))
+        return self._items[lo:hi]
+
+    def scan(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    def scan_from(self, key: Any) -> Iterator[Any]:
+        pos = self._lower_bound(key)
+        return iter(self._items[pos:])
+
+    def scan_reverse(self) -> Iterator[Any]:
+        """Descending-order scan ("be scanned in either direction")."""
+        return reversed(self._items)
+
+    def min_item(self) -> Optional[Any]:
+        return self._items[0] if self._items else None
+
+    def max_item(self) -> Optional[Any]:
+        return self._items[-1] if self._items else None
+
+    def at(self, position: int) -> Any:
+        """Positional access; the merge join exploits this."""
+        return self._items[position]
+
+    def rows(self) -> List[Any]:
+        """The backing list (shared, not copied) — contiguous scanning is
+        the array's advantage in the merge join."""
+        return self._items
+
+    def storage_bytes(self) -> int:
+        # One pointer per item — the minimum, the paper's baseline.
+        return len(self._items) * POINTER_BYTES
+
+    def sort_in_place(self, sorter: Callable[[List[Any]], None]) -> None:
+        """Re-sort via an external sorter (the instrumented quicksort).
+
+        The sort-merge join builds an *unsorted* array index and sorts it
+        with the paper's quicksort + insertion-sort hybrid; this hook lets
+        it do so while keeping the array's invariants.
+        """
+        sorter(self._items)
+
+    @classmethod
+    def build_unsorted(
+        cls,
+        items: List[Any],
+        key_of: Callable[[Any], Any] = None,
+        unique: bool = False,
+    ) -> "ArrayIndex":
+        """Create an array index whose contents are NOT yet sorted.
+
+        The caller must invoke :meth:`sort_in_place` before searching or
+        scanning.  Bulk-loading pointers this way costs one move per item,
+        which is how the sort-merge join's build phase is charged.
+        """
+        index = cls.__new__(cls)
+        OrderedIndex.__init__(index, key_of, unique)
+        index._items = list(items)
+        index._count = len(index._items)
+        count_move(len(items))
+        return index

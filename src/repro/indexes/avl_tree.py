@@ -1,0 +1,279 @@
+"""The AVL tree index [AHU74].
+
+The AVL tree is the classic internal-memory binary search tree: "It uses a
+binary tree search, which is fast since the binary search is intrinsic to
+the tree structure (i.e., no arithmetic calculations are needed).  Updates
+always affect a leaf node ... the tree is kept balanced by rotation
+operations.  The AVL Tree has one major disadvantage — its poor storage
+utilization" (Section 3.2.1).  Each node carries exactly one item plus two
+child pointers, which is where the paper's storage factor of 3 comes from.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional
+
+from repro.errors import DuplicateKeyError
+from repro.indexes.base import (
+    CONTROL_BYTES,
+    POINTER_BYTES,
+    OrderedIndex,
+    compare_keys,
+)
+from repro.instrument import count_alloc, count_move, count_traverse
+
+
+class _AVLNode:
+    """One tree node: a single item, two children, and a height field."""
+
+    __slots__ = ("item", "left", "right", "height")
+
+    def __init__(self, item: Any) -> None:
+        self.item = item
+        self.left: Optional[_AVLNode] = None
+        self.right: Optional[_AVLNode] = None
+        self.height = 1
+
+
+def _height(node: Optional[_AVLNode]) -> int:
+    return node.height if node is not None else 0
+
+
+def _update_height(node: _AVLNode) -> None:
+    node.height = 1 + max(_height(node.left), _height(node.right))
+
+
+def _balance_factor(node: _AVLNode) -> int:
+    return _height(node.left) - _height(node.right)
+
+
+class AVLTreeIndex(OrderedIndex):
+    """An AVL tree storing one item per node.
+
+    Implemented recursively; the recursion depth is bounded by the AVL
+    height (≈ 1.44 log2 n), comfortably below Python's limit for any
+    memory-resident relation.
+    """
+
+    kind = "avl"
+
+    def __init__(
+        self,
+        key_of: Callable[[Any], Any] = None,
+        unique: bool = True,
+    ) -> None:
+        super().__init__(key_of, unique)
+        self._root: Optional[_AVLNode] = None
+        #: Rotations performed over the index's lifetime (every insert or
+        #: delete may rotate — the T-Tree rotates far less often).
+        self.rotation_count = 0
+
+    # ------------------------------------------------------------------ #
+    # rotations
+    # ------------------------------------------------------------------ #
+
+    def _rotate_right(self, node: _AVLNode) -> _AVLNode:
+        self.rotation_count += 1
+        pivot = node.left
+        count_move(2)  # two pointer reassignments define the rotation
+        node.left = pivot.right
+        pivot.right = node
+        _update_height(node)
+        _update_height(pivot)
+        return pivot
+
+    def _rotate_left(self, node: _AVLNode) -> _AVLNode:
+        self.rotation_count += 1
+        pivot = node.right
+        count_move(2)
+        node.right = pivot.left
+        pivot.left = node
+        _update_height(node)
+        _update_height(pivot)
+        return pivot
+
+    def _rebalance(self, node: _AVLNode) -> _AVLNode:
+        # Height recomputation and balance checking touch both children on
+        # every level of the unwind path — the per-update bookkeeping that
+        # makes AVL updates "fair" while T-Tree updates are "good"
+        # (Table 1): the T-Tree rebalances far less often.
+        count_traverse(2)
+        _update_height(node)
+        balance = _balance_factor(node)
+        if balance > 1:
+            if _balance_factor(node.left) < 0:  # LR case
+                node.left = self._rotate_left(node.left)
+            return self._rotate_right(node)
+        if balance < -1:
+            if _balance_factor(node.right) > 0:  # RL case
+                node.right = self._rotate_right(node.right)
+            return self._rotate_left(node)
+        return node
+
+    # ------------------------------------------------------------------ #
+    # Index API
+    # ------------------------------------------------------------------ #
+
+    def insert(self, item: Any) -> None:
+        key = self.key_of(item)
+        self._root = self._insert(self._root, item, key)
+        self._count += 1
+
+    def _insert(
+        self, node: Optional[_AVLNode], item: Any, key: Any
+    ) -> _AVLNode:
+        if node is None:
+            count_alloc()
+            return _AVLNode(item)
+        count_traverse()
+        cmp = compare_keys(key, self.key_of(node.item))
+        if cmp == 0 and self.unique:
+            raise DuplicateKeyError(f"avl: duplicate key {key!r}")
+        if cmp < 0:
+            node.left = self._insert(node.left, item, key)
+        else:
+            # Duplicates (non-unique mode) go right so that equal keys
+            # stay logically contiguous in an in-order scan.
+            node.right = self._insert(node.right, item, key)
+        return self._rebalance(node)
+
+    def delete(self, item: Any) -> None:
+        key = self.key_of(item)
+        self._root, removed = self._delete(self._root, item, key)
+        if not removed:
+            raise self._missing(key)
+        self._count -= 1
+
+    def _delete(
+        self, node: Optional[_AVLNode], item: Any, key: Any
+    ) -> tuple:
+        if node is None:
+            return None, False
+        count_traverse()
+        cmp = compare_keys(key, self.key_of(node.item))
+        if cmp < 0:
+            node.left, removed = self._delete(node.left, item, key)
+        elif cmp > 0:
+            node.right, removed = self._delete(node.right, item, key)
+        elif node.item != item and not self.unique:
+            # Same key, different pointer: the match may be on either
+            # side because duplicates were inserted to the right but
+            # rotations can move them.
+            node.right, removed = self._delete(node.right, item, key)
+            if not removed:
+                node.left, removed = self._delete(node.left, item, key)
+        else:
+            removed = True
+            if node.left is None:
+                return node.right, True
+            if node.right is None:
+                return node.left, True
+            # Two children: replace with the in-order successor.
+            successor = node.right
+            while successor.left is not None:
+                count_traverse()
+                successor = successor.left
+            count_move(1)
+            node.item = successor.item
+            node.right, __ = self._delete(
+                node.right, successor.item, self.key_of(successor.item)
+            )
+        return self._rebalance(node), removed
+
+    def search(self, key: Any) -> Optional[Any]:
+        node = self._root
+        while node is not None:
+            cmp = compare_keys(key, self.key_of(node.item))
+            if cmp == 0:
+                return node.item
+            count_traverse()
+            node = node.left if cmp < 0 else node.right
+        return None
+
+    def search_all(self, key: Any) -> List[Any]:
+        return [
+            item
+            for item in self.range_scan(key, key)
+        ]
+
+    def scan(self) -> Iterator[Any]:
+        # Iterative in-order traversal; each edge followed is a traversal.
+        stack: List[_AVLNode] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                count_traverse()
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.item
+            node = node.right
+
+    def scan_from(self, key: Any) -> Iterator[Any]:
+        stack: List[_AVLNode] = []
+        node = self._root
+        # Descend, keeping ancestors whose item may still qualify.
+        while node is not None:
+            count_traverse()
+            if compare_keys(self.key_of(node.item), key) < 0:
+                node = node.right
+            else:
+                stack.append(node)
+                node = node.left
+        while stack:
+            node = stack.pop()
+            yield node.item
+            node = node.right
+            while node is not None:
+                count_traverse()
+                stack.append(node)
+                node = node.left
+
+    def min_item(self) -> Optional[Any]:
+        node = self._root
+        if node is None:
+            return None
+        while node.left is not None:
+            count_traverse()
+            node = node.left
+        return node.item
+
+    def max_item(self) -> Optional[Any]:
+        node = self._root
+        if node is None:
+            return None
+        while node.right is not None:
+            count_traverse()
+            node = node.right
+        return node.item
+
+    def storage_bytes(self) -> int:
+        # Two child pointers and one item pointer per node: the paper's
+        # storage factor of 3 (control information was excluded there too).
+        return self._count * (POINTER_BYTES * 3)
+
+    def height(self) -> int:
+        """Tree height (0 when empty); used by balance-invariant tests."""
+        return _height(self._root)
+
+    def check_invariants(self) -> None:
+        """Assert AVL balance and ordering; raises AssertionError."""
+
+        def recurse(node: Optional[_AVLNode]) -> int:
+            if node is None:
+                return 0
+            left = recurse(node.left)
+            right = recurse(node.right)
+            assert abs(left - right) <= 1, "AVL balance violated"
+            assert node.height == 1 + max(left, right), "stale height"
+            if node.left is not None:
+                assert (
+                    self.key_of(node.left.item) <= self.key_of(node.item)
+                ), "left child out of order"
+            if node.right is not None:
+                assert (
+                    self.key_of(node.item) <= self.key_of(node.right.item)
+                ), "right child out of order"
+            return 1 + max(left, right)
+
+        recurse(self._root)

@@ -1,0 +1,35 @@
+"""Instrumentation: machine-independent operation counters and timers.
+
+The paper validated its VAX 11/750 wall-clock numbers against counts of
+comparisons, data movement, and hash-function calls (Section 3.1).  In this
+Python reproduction those counters are the *primary* cost metric, because
+interpreter overhead distorts wall-clock comparisons; timers are still
+provided as a secondary measure.
+"""
+
+from repro.instrument.counters import (
+    OpCounters,
+    count_alloc,
+    count_compare,
+    count_hash,
+    count_move,
+    count_traverse,
+    counters_scope,
+    current_counters,
+    set_counters_enabled,
+)
+from repro.instrument.timer import Stopwatch, time_call
+
+__all__ = [
+    "OpCounters",
+    "Stopwatch",
+    "count_alloc",
+    "count_compare",
+    "count_hash",
+    "count_move",
+    "count_traverse",
+    "counters_scope",
+    "current_counters",
+    "set_counters_enabled",
+    "time_call",
+]

@@ -1,0 +1,81 @@
+"""Wall-clock timing helpers.
+
+The paper timed its C implementations with a routine "similar to the
+'getrusage' facility of Unix" (Section 3.1).  ``time.perf_counter_ns`` is
+the closest portable equivalent for elapsed time.  Timings in this Python
+reproduction are secondary to the operation counters (see
+:mod:`repro.instrument.counters`) because interpreter overhead distorts
+cross-algorithm wall-clock comparisons.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Tuple
+
+
+class Stopwatch:
+    """A restartable stopwatch accumulating elapsed nanoseconds.
+
+    Usage::
+
+        sw = Stopwatch()
+        with sw:
+            run_phase_one()
+        with sw:
+            run_phase_two()
+        print(sw.elapsed_seconds)
+    """
+
+    def __init__(self) -> None:
+        self._elapsed_ns = 0
+        self._started_at = None
+
+    def start(self) -> None:
+        """Begin (or resume) timing."""
+        if self._started_at is not None:
+            raise RuntimeError("Stopwatch already running")
+        self._started_at = time.perf_counter_ns()
+
+    def stop(self) -> None:
+        """Pause timing, adding the interval to the accumulated total."""
+        if self._started_at is None:
+            raise RuntimeError("Stopwatch is not running")
+        self._elapsed_ns += time.perf_counter_ns() - self._started_at
+        self._started_at = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time; the stopwatch must be stopped."""
+        if self._started_at is not None:
+            raise RuntimeError("Stopwatch is running; stop it first")
+        self._elapsed_ns = 0
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently timing."""
+        return self._started_at is not None
+
+    @property
+    def elapsed_ns(self) -> int:
+        """Accumulated elapsed time in nanoseconds (excludes a live run)."""
+        return self._elapsed_ns
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Accumulated elapsed time in seconds."""
+        return self._elapsed_ns / 1e9
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def time_call(func: Callable[..., Any], *args: Any, **kwargs: Any) -> Tuple[Any, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter_ns()
+    result = func(*args, **kwargs)
+    elapsed = (time.perf_counter_ns() - start) / 1e9
+    return result, elapsed

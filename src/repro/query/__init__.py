@@ -1,0 +1,69 @@
+"""Query processing: selection, join, and projection (paper Section 3).
+
+The operator implementations are *generic*: they work over any sequence of
+items with key-extractor functions, so the same code runs both inside the
+MM-DBMS executor (items are tuple pointers) and in the standalone
+benchmarks that regenerate the paper's graphs (items are plain keys).
+"""
+
+from repro.query.join import (
+    JoinStatistics,
+    hash_join,
+    merge_join_sorted,
+    nested_loops_join,
+    precomputed_join,
+    sort_merge_join,
+    tree_join,
+    tree_merge_join,
+)
+from repro.query.predicates import (
+    Comparison,
+    Conjunction,
+    Op,
+    Predicate,
+    between,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+    ne,
+)
+from repro.query.project import project_hash, project_sort_scan
+from repro.query.select import (
+    select_hash,
+    select_scan,
+    select_tree_exact,
+    select_tree_range,
+)
+from repro.query.sort import insertion_sort, quicksort
+
+__all__ = [
+    "Comparison",
+    "Conjunction",
+    "JoinStatistics",
+    "Op",
+    "Predicate",
+    "between",
+    "eq",
+    "ge",
+    "gt",
+    "hash_join",
+    "insertion_sort",
+    "le",
+    "lt",
+    "merge_join_sorted",
+    "ne",
+    "nested_loops_join",
+    "precomputed_join",
+    "project_hash",
+    "project_sort_scan",
+    "quicksort",
+    "select_hash",
+    "select_scan",
+    "select_tree_exact",
+    "select_tree_range",
+    "sort_merge_join",
+    "tree_join",
+    "tree_merge_join",
+]

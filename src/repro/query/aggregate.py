@@ -1,0 +1,171 @@
+"""Grouping and aggregation over temporary lists.
+
+Not part of the paper's operator study, but the natural extension of its
+hash-based duplicate elimination: GROUP BY is the same "hash each row,
+collapse equal keys" pass, except that instead of discarding duplicates
+it folds them into accumulators.  Costs are counted with the same
+instrumentation (one hash per row, one comparison per accumulator fold).
+
+Aggregation produces *computed values*, not tuple pointers, so its result
+is a :class:`ValueTable` rather than a temporary list — the one place the
+engine materialises data that does not live in a base relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.instrument import count_compare, count_hash
+
+#: Supported aggregate function names.
+AGGREGATE_FUNCTIONS = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate column: ``func(column) AS label``.
+
+    ``column`` may be None for ``COUNT(*)``.
+    """
+
+    func: str
+    column: Optional[str]
+    label: str
+
+    def __post_init__(self) -> None:
+        if self.func not in AGGREGATE_FUNCTIONS:
+            raise QueryError(
+                f"unknown aggregate {self.func!r}; have "
+                f"{AGGREGATE_FUNCTIONS}"
+            )
+        if self.column is None and self.func != "count":
+            raise QueryError(f"{self.func}(*) is not defined; name a column")
+
+
+class _Accumulator:
+    """Streaming accumulator for one aggregate over one group."""
+
+    __slots__ = ("func", "count", "total", "best")
+
+    def __init__(self, func: str) -> None:
+        self.func = func
+        self.count = 0
+        self.total = 0
+        self.best: Any = None
+
+    def fold(self, value: Any) -> None:
+        count_compare()
+        if value is None and self.func != "count":
+            return  # SQL semantics: NULLs are ignored by aggregates
+        self.count += 1
+        if self.func in ("sum", "avg") and value is not None:
+            self.total += value
+        elif self.func == "min":
+            if self.best is None or value < self.best:
+                self.best = value
+        elif self.func == "max":
+            if self.best is None or value > self.best:
+                self.best = value
+
+    def result(self) -> Any:
+        if self.func == "count":
+            return self.count
+        if self.func == "sum":
+            return self.total if self.count else None
+        if self.func == "avg":
+            return self.total / self.count if self.count else None
+        return self.best
+
+
+class ValueTable:
+    """A materialised result: column names plus plain value rows."""
+
+    def __init__(self, columns: Sequence[str], rows: List[Tuple[Any, ...]]) -> None:
+        self.columns = list(columns)
+        self._rows = rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self._rows)
+
+    def __getitem__(self, i: int) -> Tuple[Any, ...]:
+        return self._rows[i]
+
+    def rows(self) -> List[Tuple[Any, ...]]:
+        """The value rows (shared, not copied)."""
+        return self._rows
+
+    def materialize(self) -> List[Tuple[Any, ...]]:
+        """Uniform API with TemporaryList: the rows are already values."""
+        return list(self._rows)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Rows keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self._rows]
+
+    def sort_by(self, column: str, descending: bool = False) -> "ValueTable":
+        """A copy ordered by one column."""
+        try:
+            position = self.columns.index(column)
+        except ValueError:
+            raise QueryError(
+                f"no column {column!r}; have {self.columns}"
+            ) from None
+        ordered = sorted(
+            self._rows, key=lambda row: row[position], reverse=descending
+        )
+        return ValueTable(self.columns, ordered)
+
+    def limit(self, n: int) -> "ValueTable":
+        """A copy truncated to the first ``n`` rows."""
+        return ValueTable(self.columns, self._rows[:n])
+
+
+def group_aggregate(
+    rows: Sequence[Any],
+    group_extractors: Sequence[Tuple[str, Callable[[Any], Any]]],
+    aggregates: Sequence[AggregateSpec],
+    value_extractor_for: Callable[[str], Callable[[Any], Any]],
+) -> ValueTable:
+    """Hash-group ``rows`` and fold the aggregates.
+
+    ``group_extractors`` is [(column_name, row -> value)]; empty means a
+    single global group (plain aggregation).  ``value_extractor_for``
+    maps an aggregate's column name to a row-value extractor.
+    """
+    agg_extractors: List[Optional[Callable[[Any], Any]]] = []
+    for spec in aggregates:
+        if spec.column is None:
+            agg_extractors.append(None)
+        else:
+            agg_extractors.append(value_extractor_for(spec.column))
+
+    groups: Dict[Tuple[Any, ...], List[_Accumulator]] = {}
+    order: List[Tuple[Any, ...]] = []
+    for row in rows:
+        key = tuple(extract(row) for __, extract in group_extractors)
+        count_hash()
+        accumulators = groups.get(key)
+        if accumulators is None:
+            accumulators = [_Accumulator(spec.func) for spec in aggregates]
+            groups[key] = accumulators
+            order.append(key)
+        for accumulator, extract in zip(accumulators, agg_extractors):
+            accumulator.fold(1 if extract is None else extract(row))
+
+    if not group_extractors and not groups:
+        # SQL: aggregating an empty input still yields one row.
+        groups[()] = [_Accumulator(spec.func) for spec in aggregates]
+        order.append(())
+
+    columns = [name for name, __ in group_extractors] + [
+        spec.label for spec in aggregates
+    ]
+    result_rows = [
+        key + tuple(acc.result() for acc in groups[key]) for key in order
+    ]
+    return ValueTable(columns, result_rows)

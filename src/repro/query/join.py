@@ -1,0 +1,381 @@
+"""The join algorithms of Section 3.3.2.
+
+Five methods from the paper's study plus the precomputed pointer join of
+Section 2.1:
+
+* :func:`nested_loops_join` — the O(N^2) strawman of Graph 10;
+* :func:`hash_join` — nested loops with a Chained Bucket Hash built on the
+  inner relation (the build cost is *always* charged: "we always include
+  the cost of building a hash table, because we feel that a hash table
+  index is less likely to exist than a T Tree index");
+* :func:`tree_join` — nested loops probing an *existing* T-Tree on the
+  inner relation (building one never pays: "a Tree Join will always cost
+  more than a Hash Join" if the build is included);
+* :func:`sort_merge_join` — builds array indexes on both inputs, sorts
+  them with the footnote-6 quicksort, merges;
+* :func:`tree_merge_join` — merge join over two *existing* T-Tree
+  indexes;
+* :func:`precomputed_join` — follows materialised foreign-key tuple
+  pointers ("it would beat each of the join methods in every case,
+  because the joining tuples have already been paired").
+
+All functions are generic over item sequences and key extractors and
+return a list of ``(outer_item, inner_item)`` pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import UnsupportedOperationError
+from repro.indexes.array_index import ArrayIndex
+from repro.indexes.base import Index, OrderedIndex, compare_keys
+from repro.indexes.chained_hash import ChainedBucketHashIndex
+from repro.instrument import (
+    OpCounters,
+    count_compare,
+    count_move,
+    count_traverse,
+    counters_scope,
+)
+from repro.query.sort import quicksort
+
+Pair = Tuple[Any, Any]
+KeyOf = Callable[[Any], Any]
+
+
+@dataclass
+class JoinStatistics:
+    """Result size plus the operation counts of one join execution."""
+
+    method: str
+    result_size: int
+    counters: OpCounters
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JoinStatistics({self.method}, n={self.result_size}, "
+            f"{self.counters!r})"
+        )
+
+
+def measured(
+    method: str, func: Callable[[], List[Pair]]
+) -> Tuple[List[Pair], JoinStatistics]:
+    """Run a join thunk inside a fresh counter scope and report stats."""
+    with counters_scope() as counters:
+        result = func()
+    return result, JoinStatistics(method, len(result), counters.snapshot())
+
+
+# --------------------------------------------------------------------- #
+# nested loops
+# --------------------------------------------------------------------- #
+
+def nested_loops_join(
+    outer: Sequence[Any],
+    inner: Sequence[Any],
+    outer_key: KeyOf,
+    inner_key: KeyOf,
+) -> List[Pair]:
+    """The pure O(N^2) join — "unless one plans to generate full cross
+    products on a regular basis, nested loops join should simply never be
+    considered as a practical join method for a main memory DBMS"."""
+    result: List[Pair] = []
+    for outer_item in outer:
+        key = outer_key(outer_item)
+        for inner_item in inner:
+            count_compare()
+            if inner_key(inner_item) == key:
+                count_move(1)
+                result.append((outer_item, inner_item))
+    return result
+
+
+# --------------------------------------------------------------------- #
+# index joins
+# --------------------------------------------------------------------- #
+
+def hash_join(
+    outer: Sequence[Any],
+    inner: Sequence[Any],
+    outer_key: KeyOf,
+    inner_key: KeyOf,
+    table_size: Optional[int] = None,
+) -> List[Pair]:
+    """Nested loops with a Chained Bucket Hash built on the inner input.
+
+    The hash-table build is part of the measured cost.  "A hash table has
+    a fixed cost, independent of the index size, to look up a value" —
+    the fixed lookup cost ``k`` of the paper's analysis.
+    """
+    size = table_size if table_size is not None else max(4, len(inner))
+    table = ChainedBucketHashIndex(
+        key_of=inner_key, unique=False, table_size=size
+    )
+    for inner_item in inner:
+        table.insert(inner_item)
+    result: List[Pair] = []
+    for outer_item in outer:
+        for inner_item in table.search_all(outer_key(outer_item)):
+            count_move(1)
+            result.append((outer_item, inner_item))
+    return result
+
+
+def tree_join(
+    outer: Sequence[Any],
+    outer_key: KeyOf,
+    inner_index: OrderedIndex,
+) -> List[Pair]:
+    """Nested loops probing an existing ordered index on the inner input.
+
+    Cost shape per the paper: roughly ``|R1| + |R1| * log2(|R2|)``
+    comparisons.  Unsuccessful probes stop at the binary-tree search;
+    successful ones additionally "scan in both directions" to collect
+    duplicates — which is why Test 6 shows this method most sensitive to
+    semijoin selectivity.
+    """
+    if not inner_index.ordered:
+        raise UnsupportedOperationError("tree_join needs an ordered index")
+    result: List[Pair] = []
+    for outer_item in outer:
+        for inner_item in inner_index.search_all(outer_key(outer_item)):
+            count_move(1)
+            result.append((outer_item, inner_item))
+    return result
+
+
+# --------------------------------------------------------------------- #
+# merge joins
+# --------------------------------------------------------------------- #
+
+def merge_join_sorted(
+    outer_sorted: Sequence[Any],
+    inner_sorted: Sequence[Any],
+    outer_key: KeyOf,
+    inner_key: KeyOf,
+    inner_rescan: Optional[Callable[[], None]] = None,
+) -> List[Pair]:
+    """Merge join over two key-sorted sequences [BlE77].
+
+    Equal-key runs produce their full cross product.  Without duplicates
+    the comparison count is about ``|R1| + 2 * |R2|``, the figure the
+    paper quotes for the Tree Merge of Test 1.
+
+    ``inner_rescan`` is invoked once per inner item revisited while a
+    duplicate run's cross product is emitted: re-walking a T-Tree run
+    chases node pointers while re-walking an array run is a contiguous
+    read, which is exactly why "the array index can be scanned in about
+    2/3 the time it takes to scan a T Tree" and why Sort Merge wins the
+    high-duplicate joins of Graphs 7 and 8.  Recording each result tuple
+    costs one move in every join method.
+    """
+    result: List[Pair] = []
+    i, j = 0, 0
+    n_outer, n_inner = len(outer_sorted), len(inner_sorted)
+    while i < n_outer and j < n_inner:
+        outer_item = outer_sorted[i]
+        ok = outer_key(outer_item)
+        cmp = compare_keys(ok, inner_key(inner_sorted[j]))
+        if cmp < 0:
+            i += 1
+            continue
+        if cmp > 0:
+            j += 1
+            continue
+        # Equal run: find its extent in the inner input, then pair every
+        # equal outer item with the whole run.
+        j_end = j
+        while j_end < n_inner:
+            count_compare()
+            if inner_key(inner_sorted[j_end]) != ok:
+                break
+            j_end += 1
+        while i < n_outer:
+            count_compare()
+            if outer_key(outer_sorted[i]) != ok:
+                break
+            for jj in range(j, j_end):
+                if inner_rescan is not None:
+                    inner_rescan()
+                count_move(1)
+                result.append((outer_sorted[i], inner_sorted[jj]))
+            i += 1
+        j = j_end
+    return result
+
+
+def sort_merge_join(
+    outer: Sequence[Any],
+    inner: Sequence[Any],
+    outer_key: KeyOf,
+    inner_key: KeyOf,
+) -> List[Pair]:
+    """Sort-merge join: build array indexes on both inputs, quicksort
+    them (insertion-sort cutoff 10), then merge.
+
+    The build-and-sort cost ``|R1| log |R1| + |R2| log |R2|`` is charged —
+    that is what makes Sort Merge the worst method of Test 1 yet the best
+    once huge equal-key runs must be scanned (Graphs 7 and 8): "the array
+    index can be scanned faster than the T Tree index because the array
+    index holds a list of contiguous elements whereas the T Tree holds
+    nodes of contiguous elements joined by pointers".
+    """
+    outer_array = ArrayIndex.build_unsorted(list(outer), outer_key, unique=False)
+    inner_array = ArrayIndex.build_unsorted(list(inner), inner_key, unique=False)
+    outer_array.sort_in_place(lambda items: quicksort(items, outer_key))
+    inner_array.sort_in_place(lambda items: quicksort(items, inner_key))
+    return merge_join_sorted(
+        outer_array.rows(), inner_array.rows(), outer_key, inner_key
+    )
+
+
+def tree_merge_join(
+    outer_index: OrderedIndex,
+    inner_index: OrderedIndex,
+) -> List[Pair]:
+    """Merge join scanning two existing ordered indexes in key order.
+
+    "It turned out never to be advantageous to build the T Tree indices
+    for this join method" — so, as in the paper, the caller supplies
+    already-existing indexes and only the merge is measured.  Scanning a
+    T-Tree costs pointer traversals between nodes, the ~1.5x penalty
+    versus an array scan that Test 4 exposes.
+    """
+    if not (outer_index.ordered and inner_index.ordered):
+        raise UnsupportedOperationError("tree_merge_join needs ordered indexes")
+    outer_items = list(outer_index.scan())
+    inner_items = list(inner_index.scan())
+    return merge_join_sorted(
+        outer_items,
+        inner_items,
+        outer_index.key_of,
+        inner_index.key_of,
+        inner_rescan=count_traverse,
+    )
+
+
+# --------------------------------------------------------------------- #
+# precomputed join (Section 2.1)
+# --------------------------------------------------------------------- #
+
+def precomputed_join(
+    outer: Iterable[Any],
+    pointer_of: Callable[[Any], Any],
+) -> List[Pair]:
+    """Follow materialised foreign-key tuple pointers.
+
+    ``pointer_of`` maps an outer item to the stored pointer value: a
+    single tuple pointer for a one-to-one relationship, a list of
+    pointers for one-to-many, or None when the foreign key is null.
+    "Intuitively, it would beat each of the join methods in every case,
+    because the joining tuples have already been paired."
+    """
+    result: List[Pair] = []
+    for outer_item in outer:
+        target = pointer_of(outer_item)
+        if target is None:
+            continue
+        if isinstance(target, list):
+            for pointer in target:
+                count_move(1)
+                result.append((outer_item, pointer))
+        else:
+            count_move(1)
+            result.append((outer_item, target))
+    return result
+
+
+# --------------------------------------------------------------------- #
+# non-equijoins (Section 3.3.5)
+# --------------------------------------------------------------------- #
+
+def theta_join(
+    outer: Sequence[Any],
+    inner: Sequence[Any],
+    outer_key: KeyOf,
+    inner_key: KeyOf,
+    matches: Callable[[Any, Any], bool],
+) -> List[Pair]:
+    """Generic theta join by nested loops — the fallback for arbitrary
+    join conditions (including the "not equals" the paper notes cannot
+    use ordering)."""
+    result: List[Pair] = []
+    for outer_item in outer:
+        ok = outer_key(outer_item)
+        for inner_item in inner:
+            count_compare()
+            if matches(ok, inner_key(inner_item)):
+                count_move(1)
+                result.append((outer_item, inner_item))
+    return result
+
+
+#: Inequality operators an ordered index can serve, mapped to the inner
+#: key range they imply for an outer key k: (low, high, incl_low,
+#: incl_high) with None meaning unbounded.
+_INEQUALITY_RANGES = {
+    "<": lambda k: (k, None, False, True),    # outer < inner
+    "<=": lambda k: (k, None, True, True),
+    ">": lambda k: (None, k, True, False),    # outer > inner
+    ">=": lambda k: (None, k, True, True),
+}
+
+
+def tree_inequality_join(
+    outer: Sequence[Any],
+    outer_key: KeyOf,
+    inner_index: OrderedIndex,
+    op: str,
+) -> List[Pair]:
+    """Inequality join through an existing ordered index.
+
+    "Non-equijoins other than 'not equals' can make use of ordering of
+    the data, so the Tree Join should be used for such (<, <=, >, >=)
+    joins" (Section 3.3.5).  For each outer tuple one tree descent finds
+    the boundary, then the qualifying run is scanned in order — no
+    per-pair comparisons beyond the boundary checks.
+    """
+    if not inner_index.ordered:
+        raise UnsupportedOperationError(
+            "tree_inequality_join needs an ordered index"
+        )
+    try:
+        key_range = _INEQUALITY_RANGES[op]
+    except KeyError:
+        raise UnsupportedOperationError(
+            f"operator {op!r} cannot use an ordered index; "
+            "use theta_join for '!='"
+        ) from None
+    result: List[Pair] = []
+    for outer_item in outer:
+        low, high, incl_low, incl_high = key_range(outer_key(outer_item))
+        for inner_item in inner_index.range_scan(
+            low, high, incl_low, incl_high
+        ):
+            count_move(1)
+            result.append((outer_item, inner_item))
+    return result
+
+
+def band_join(
+    outer: Sequence[Any],
+    outer_key: KeyOf,
+    inner_index: OrderedIndex,
+    below: Any,
+    above: Any,
+) -> List[Pair]:
+    """Band join: pairs where ``outer.key - below <= inner.key <=
+    outer.key + above`` — the natural generalisation of the ordered
+    inequality join, served by one range scan per outer tuple."""
+    if not inner_index.ordered:
+        raise UnsupportedOperationError("band_join needs an ordered index")
+    result: List[Pair] = []
+    for outer_item in outer:
+        key = outer_key(outer_item)
+        for inner_item in inner_index.range_scan(key - below, key + above):
+            count_move(1)
+            result.append((outer_item, inner_item))
+    return result

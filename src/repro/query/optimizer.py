@@ -1,0 +1,334 @@
+"""Access-path and join-method selection (paper Section 4).
+
+"Query optimization in MM-DBMS should be simpler than in conventional
+database systems, as the cost formulas are less complicated ...  there is
+a more definite ordering of preference: a hash lookup (exact match only)
+is always faster than a tree lookup which is always faster than a
+sequential scan; a precomputed join is always faster than the other join
+methods; and a Tree Merge join is nearly always preferred when the T Tree
+indices already exist."
+
+The two exceptions of Section 3.3.5 are encoded as cost rules:
+
+1. with only the inner index available, a Tree Join beats building a hash
+   table when the outer relation is less than half the inner's size;
+2. at high duplicate percentages (high-output joins) Sort Merge wins —
+   past ~97% when tree indexes exist (Graph 8), past ~60-80% when the
+   tree indexes would have to be built (the Hash Join comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import PlanError
+from repro.query.plan import (
+    REF_COLUMN,
+    FilterNode,
+    IndexLookupNode,
+    IndexMultiLookupNode,
+    IndexRangeNode,
+    JoinNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+)
+from repro.query.predicates import (
+    Comparison,
+    Conjunction,
+    Disjunction,
+    Op,
+    Predicate,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.relation import Relation
+
+#: Duplicate fraction above which Sort Merge beats Tree Merge (Graph 8).
+SORT_MERGE_OVER_TREE_MERGE_DUPS = 0.97
+#: Duplicate fraction above which Sort Merge beats Hash Join (Graphs 7/8:
+#: 60% skewed, 80% uniform; without skew statistics we use the midpoint).
+SORT_MERGE_OVER_HASH_DUPS = 0.70
+#: Outer/inner size ratio below which Tree Join beats Hash Join (Graph 6:
+#: "the smaller relation is less than half the size of the larger").
+TREE_JOIN_SIZE_RATIO = 0.5
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Cardinality statistics for one join column."""
+
+    cardinality: int
+    distinct: int
+
+    @property
+    def duplicate_fraction(self) -> float:
+        """1 - distinct/|R| — the paper's "duplicate percentage" / 100."""
+        if self.cardinality == 0:
+            return 0.0
+        return 1.0 - self.distinct / self.cardinality
+
+
+class Optimizer:
+    """Rule-based planner over a catalog."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self._stats_cache: Dict[Tuple[str, str, int], ColumnStatistics] = {}
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+
+    def column_stats(self, relation: Relation, field: str) -> ColumnStatistics:
+        """Distinct-value statistics, computed through an index scan.
+
+        Cached per (relation, field, cardinality); an exact refresh
+        happens whenever the relation's size changes.
+        """
+        cache_key = (relation.name, field, len(relation))
+        cached = self._stats_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        index = relation.index_on(field)
+        if index is not None and index.ordered:
+            distinct = 0
+            previous = _SENTINEL
+            for key, __ in index.items_with_keys():
+                if previous is _SENTINEL or key != previous:
+                    distinct += 1
+                    previous = key
+        else:
+            extractor = relation.key_extractor(field)
+            distinct = len(
+                {extractor(ref) for ref in relation.any_index().scan()}
+            )
+        stats = ColumnStatistics(len(relation), distinct)
+        self._stats_cache[cache_key] = stats
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # selection planning
+    # ------------------------------------------------------------------ #
+
+    def plan_selection(
+        self, relation_name: str, predicate: Optional[Predicate] = None
+    ) -> PlanNode:
+        """Pick the best access path for a single-relation selection.
+
+        Preference: hash lookup > tree exact lookup > tree range lookup >
+        sequential scan, exactly the Section 4 ordering.  Any comparisons
+        not served by the chosen index become a residual filter.
+        """
+        relation = self.catalog.relation(relation_name)
+        if predicate is None:
+            return ScanNode(relation_name)
+        # An OR of equalities on one indexed field becomes a union of
+        # index lookups — how the paper's Query 2 selects the Toy and
+        # Shoe departments with two lookups rather than a scan.
+        if isinstance(predicate, Disjunction):
+            equality = predicate.equality_keys()
+            if equality is not None:
+                field_name, keys = equality
+                if relation.index_on(field_name, ordered=False):
+                    return IndexMultiLookupNode(
+                        relation_name, field_name, keys, prefer="hash"
+                    )
+                if relation.index_on(field_name, ordered=True):
+                    return IndexMultiLookupNode(
+                        relation_name, field_name, keys, prefer="tree"
+                    )
+            return ScanNode(relation_name, predicate)
+        comparisons = _comparison_leaves(predicate)
+        if comparisons is None:
+            return ScanNode(relation_name, predicate)
+
+        chosen: Optional[PlanNode] = None
+        used: Optional[Comparison] = None
+        # 1. hash lookup: exact match on a hash-indexed field.
+        for comp in comparisons:
+            if comp.op.exact_match and relation.index_on(comp.field, ordered=False):
+                chosen = IndexLookupNode(
+                    relation_name, comp.field, comp.value, prefer="hash"
+                )
+                used = comp
+                break
+        # 2. tree exact lookup.
+        if chosen is None:
+            for comp in comparisons:
+                if comp.op.exact_match and relation.index_on(
+                    comp.field, ordered=True
+                ):
+                    chosen = IndexLookupNode(
+                        relation_name, comp.field, comp.value, prefer="tree"
+                    )
+                    used = comp
+                    break
+        # 3. tree range lookup.
+        if chosen is None:
+            for comp in comparisons:
+                if comp.op.usable_with_order and not comp.op.exact_match:
+                    if relation.index_on(comp.field, ordered=True):
+                        low, high, inc_low, inc_high = comp.key_range()
+                        chosen = IndexRangeNode(
+                            relation_name, comp.field, low, high,
+                            inc_low, inc_high,
+                        )
+                        used = comp
+                        break
+        # 4. sequential scan through an unrelated index.
+        if chosen is None:
+            return ScanNode(relation_name, predicate)
+        residual = [c for c in comparisons if c is not used]
+        if residual:
+            residual_pred: Predicate = (
+                residual[0] if len(residual) == 1 else Conjunction(tuple(residual))
+            )
+            return FilterNode(chosen, residual_pred)
+        return chosen
+
+    # ------------------------------------------------------------------ #
+    # join planning
+    # ------------------------------------------------------------------ #
+
+    def choose_join_method(
+        self,
+        outer: Relation,
+        inner: Relation,
+        outer_col: str,
+        inner_col: str,
+    ) -> str:
+        """Apply the Section 4 preference order with the 3.3.5 exceptions."""
+        # Precomputed join: the outer column is a declared foreign key
+        # into the inner relation ("always faster than the other join
+        # methods").
+        logical = None
+        if outer_col in outer.schema.names:
+            logical = outer.schema.field(outer_col)
+        if (
+            logical is not None
+            and logical.references is not None
+            and logical.references.relation == inner.name
+            and inner_col in (REF_COLUMN, logical.references.field)
+        ):
+            return "precomputed"
+
+        outer_tree = outer.index_on(outer_col, ordered=True)
+        inner_tree = inner.index_on(inner_col, ordered=True)
+        if outer_tree is not None and inner_tree is not None:
+            dups = max(
+                self.column_stats(outer, outer_col).duplicate_fraction,
+                self.column_stats(inner, inner_col).duplicate_fraction,
+            )
+            if dups >= SORT_MERGE_OVER_TREE_MERGE_DUPS:
+                return "sort_merge"  # exception 2, Graph 8's crossover
+            return "tree_merge"
+        if (
+            inner_tree is not None
+            and len(outer) < TREE_JOIN_SIZE_RATIO * len(inner)
+        ):
+            return "tree"  # exception 1, Graph 6's small-outer regime
+        dups = max(
+            self.column_stats(outer, outer_col).duplicate_fraction,
+            self.column_stats(inner, inner_col).duplicate_fraction,
+        )
+        if dups >= SORT_MERGE_OVER_HASH_DUPS:
+            return "sort_merge"  # exception 2 against Hash Join
+        return "hash"
+
+    def plan_join(
+        self,
+        outer_name: str,
+        inner_name: str,
+        outer_col: str,
+        inner_col: str,
+        outer_predicate: Optional[Predicate] = None,
+        inner_predicate: Optional[Predicate] = None,
+    ) -> PlanNode:
+        """Plan a two-relation equijoin with optional local predicates.
+
+        Index-based join methods require bare relation scans; when a
+        local predicate blocks that, the optimizer falls back to the
+        generic methods on the filtered input.
+        """
+        outer = self.catalog.relation(outer_name)
+        inner = self.catalog.relation(inner_name)
+        method = self.choose_join_method(outer, inner, outer_col, inner_col)
+
+        if method == "tree_merge" and (outer_predicate or inner_predicate):
+            method = "hash"  # indexes live on base relations only
+        if method == "tree" and inner_predicate:
+            method = "hash"
+        if method == "precomputed" and inner_predicate:
+            # Filter after following pointers instead.  The predicate's
+            # fields are qualified with the inner relation's name so they
+            # resolve unambiguously in the join's output.
+            left_plan = self.plan_selection(outer_name, outer_predicate)
+            join = JoinNode(
+                left_plan, ScanNode(inner_name), outer_col, REF_COLUMN,
+                "precomputed",
+            )
+            return FilterNode(join, _qualify(inner_predicate, inner_name))
+
+        left_plan: PlanNode
+        right_plan: PlanNode
+        if method == "tree_merge":
+            left_plan = ScanNode(outer_name)
+            right_plan = ScanNode(inner_name)
+        else:
+            left_plan = self.plan_selection(outer_name, outer_predicate)
+            if method in ("tree", "precomputed"):
+                right_plan = ScanNode(inner_name)
+            else:
+                right_plan = self.plan_selection(inner_name, inner_predicate)
+        join_inner_col = (
+            REF_COLUMN if method == "precomputed" else inner_col
+        )
+        return JoinNode(left_plan, right_plan, outer_col, join_inner_col, method)
+
+
+class _SentinelType:
+    __slots__ = ()
+
+
+_SENTINEL = _SentinelType()
+
+
+def _comparison_leaves(predicate: Predicate):
+    """Comparison leaves of a predicate, or None when not analysable."""
+    if isinstance(predicate, Comparison):
+        return (predicate,)
+    if isinstance(predicate, Conjunction):
+        leaves = predicate.comparisons()
+        # A conjunction containing non-comparison parts is not analysable.
+        flat_count = sum(
+            1 for p in _flatten(predicate)
+        )
+        if len(leaves) == flat_count:
+            return leaves
+        return None
+    return None
+
+
+def _flatten(predicate: Predicate):
+    if isinstance(predicate, Conjunction):
+        for part in predicate.parts:
+            yield from _flatten(part)
+    else:
+        yield predicate
+
+
+def _qualify(predicate: Predicate, relation_name: str) -> Predicate:
+    """Prefix every comparison's field with ``relation_name.``."""
+    if isinstance(predicate, Comparison):
+        return Comparison(
+            f"{relation_name}.{predicate.field}",
+            predicate.op,
+            predicate.value,
+            predicate.high,
+        )
+    if isinstance(predicate, Conjunction):
+        return Conjunction(
+            tuple(_qualify(part, relation_name) for part in predicate.parts)
+        )
+    return predicate

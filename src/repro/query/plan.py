@@ -1,0 +1,228 @@
+"""Query plans: a small tree of composable operator nodes.
+
+A plan node evaluates (via :mod:`repro.query.executor`) to a
+:class:`~repro.storage.temporary.TemporaryList`.  The node set mirrors the
+paper's operator inventory: three selection access paths, the join method
+family, and descriptor projection with optional duplicate elimination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.errors import PlanError
+from repro.query.predicates import Predicate
+
+#: Pseudo-column naming the row's own tuple pointer.  Joining an outer
+#: REF field against the inner's ``REF_COLUMN`` is the paper's Query 2:
+#: "comparisons will be performed using the tuple pointers".
+REF_COLUMN = "__ref__"
+
+#: The join methods the executor understands.
+JOIN_METHODS = (
+    "nested_loops",
+    "hash",
+    "tree",
+    "sort_merge",
+    "tree_merge",
+    "precomputed",
+)
+
+
+class PlanNode:
+    """Base class for plan nodes."""
+
+    def explain(self, depth: int = 0) -> str:
+        """A human-readable plan tree (one node per line)."""
+        raise NotImplementedError
+
+    def _indent(self, depth: int) -> str:
+        return "  " * depth
+
+
+@dataclass
+class ScanNode(PlanNode):
+    """Sequential scan of a relation through one of its indexes.
+
+    The slowest access path; carries an optional residual predicate.
+    """
+
+    relation_name: str
+    predicate: Optional[Predicate] = None
+
+    def explain(self, depth: int = 0) -> str:
+        pred = f" filter {self.predicate!r}" if self.predicate else ""
+        return f"{self._indent(depth)}Scan({self.relation_name}){pred}"
+
+
+@dataclass
+class IndexLookupNode(PlanNode):
+    """Exact-match lookup — hash if possible, else ordered index."""
+
+    relation_name: str
+    field_name: str
+    key: Any
+    prefer: Optional[str] = None  # "hash" | "tree" | None (auto)
+
+    def explain(self, depth: int = 0) -> str:
+        how = self.prefer or "auto"
+        return (
+            f"{self._indent(depth)}IndexLookup({self.relation_name}."
+            f"{self.field_name} = {self.key!r}, via {how})"
+        )
+
+
+@dataclass
+class IndexMultiLookupNode(PlanNode):
+    """Union of exact-match lookups — an OR of equalities on one indexed
+    field (the paper's Query 2 selection: Toy or Shoe)."""
+
+    relation_name: str
+    field_name: str
+    keys: Tuple[Any, ...]
+    prefer: Optional[str] = None
+
+    def explain(self, depth: int = 0) -> str:
+        how = self.prefer or "auto"
+        return (
+            f"{self._indent(depth)}IndexMultiLookup({self.relation_name}."
+            f"{self.field_name} IN {list(self.keys)!r}, via {how})"
+        )
+
+
+@dataclass
+class IndexRangeNode(PlanNode):
+    """Range lookup through an ordered index."""
+
+    relation_name: str
+    field_name: str
+    low: Any = None
+    high: Any = None
+    include_low: bool = True
+    include_high: bool = True
+
+    def explain(self, depth: int = 0) -> str:
+        lo = "(" if not self.include_low else "["
+        hi = ")" if not self.include_high else "]"
+        return (
+            f"{self._indent(depth)}IndexRange({self.relation_name}."
+            f"{self.field_name} in {lo}{self.low!r}, {self.high!r}{hi})"
+        )
+
+
+@dataclass
+class FilterNode(PlanNode):
+    """Residual predicate applied to a child's rows."""
+
+    child: PlanNode
+    predicate: Predicate
+
+    def explain(self, depth: int = 0) -> str:
+        return (
+            f"{self._indent(depth)}Filter {self.predicate!r}\n"
+            f"{self.child.explain(depth + 1)}"
+        )
+
+
+@dataclass
+class JoinNode(PlanNode):
+    """Join of two child plans on one column each.
+
+    ``method`` is one of :data:`JOIN_METHODS`.  The index-based methods
+    ("tree", "tree_merge", "precomputed") place structural requirements on
+    the children, validated at execution time:
+
+    * "tree" — the right child must be a bare relation scan whose join
+      field has an ordered index;
+    * "tree_merge" — both children must be bare relation scans with
+      ordered indexes on their join fields;
+    * "precomputed" — the left join column must be a materialised
+      foreign-key (REF) field pointing into the right relation; the right
+      column must be :data:`REF_COLUMN`.
+
+    ``right_col`` may be :data:`REF_COLUMN` for pointer-equality joins.
+
+    ``op`` generalises to non-equijoins (Section 3.3.5): "<", "<=", ">",
+    ">=" run through an ordered index on the right side (method "tree")
+    or by nested loops; "!=" — which "cannot make use of ordering" — only
+    by nested loops.
+    """
+
+    left: PlanNode
+    right: PlanNode
+    left_col: str
+    right_col: str
+    method: str = "hash"
+    op: str = "="
+
+    _VALID_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+    def __post_init__(self) -> None:
+        if self.method not in JOIN_METHODS:
+            raise PlanError(
+                f"unknown join method {self.method!r}; choose from "
+                f"{JOIN_METHODS}"
+            )
+        if self.op not in self._VALID_OPS:
+            raise PlanError(
+                f"unknown join operator {self.op!r}; choose from "
+                f"{self._VALID_OPS}"
+            )
+        if self.op != "=" and self.method not in ("tree", "nested_loops"):
+            raise PlanError(
+                f"non-equijoins run via 'tree' (ordered ops) or "
+                f"'nested_loops', not {self.method!r}"
+            )
+        if self.op == "!=" and self.method == "tree":
+            raise PlanError(
+                "'!=' cannot use the ordering of the data (Section "
+                "3.3.5); use nested_loops"
+            )
+
+    def explain(self, depth: int = 0) -> str:
+        return (
+            f"{self._indent(depth)}Join[{self.method}] "
+            f"{self.left_col} {self.op} {self.right_col}\n"
+            f"{self.left.explain(depth + 1)}\n"
+            f"{self.right.explain(depth + 1)}"
+        )
+
+
+@dataclass
+class ProjectNode(PlanNode):
+    """Descriptor projection with optional duplicate elimination.
+
+    Projection itself is free ("the descriptor takes the place of
+    projection"); only ``deduplicate=True`` does real work, using hashing
+    by default per the paper's conclusion, or "sort_scan".
+    """
+
+    child: PlanNode
+    columns: Tuple[str, ...]
+    deduplicate: bool = False
+    dedup_method: str = "hash"
+
+    def __init__(
+        self,
+        child: PlanNode,
+        columns: Sequence[str],
+        deduplicate: bool = False,
+        dedup_method: str = "hash",
+    ) -> None:
+        if dedup_method not in ("hash", "sort_scan"):
+            raise PlanError(
+                f"unknown dedup method {dedup_method!r}; "
+                "use 'hash' or 'sort_scan'"
+            )
+        self.child = child
+        self.columns = tuple(columns)
+        self.deduplicate = deduplicate
+        self.dedup_method = dedup_method
+
+    def explain(self, depth: int = 0) -> str:
+        dd = f" dedup({self.dedup_method})" if self.deduplicate else ""
+        return (
+            f"{self._indent(depth)}Project{list(self.columns)}{dd}\n"
+            f"{self.child.explain(depth + 1)}"
+        )

@@ -1,0 +1,201 @@
+"""Selection predicates.
+
+A small predicate algebra over named fields, compiled against either a
+relation (evaluating through tuple pointers) or a temporary list.  The
+optimizer inspects :class:`Comparison` nodes to pick access paths: an
+equality on a hash-indexed field becomes a hash lookup, an equality or
+range on a tree-indexed field becomes a tree lookup, anything else falls
+back to a sequential scan through an unrelated index (Section 4's three
+access paths).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple
+
+from repro.instrument import count_compare
+
+
+class Op(enum.Enum):
+    """Comparison operators; the ordered ones can use a T-Tree index.
+
+    Section 3.3.5: "Non-equijoins other than 'not equals' can make use of
+    ordering of the data" — the same distinction applies to selections.
+    """
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    BETWEEN = "between"
+
+    @property
+    def usable_with_order(self) -> bool:
+        """Whether an ordered index can serve this operator."""
+        return self is not Op.NE
+
+    @property
+    def exact_match(self) -> bool:
+        """Whether this operator is an exact-match lookup (hashable)."""
+        return self is Op.EQ
+
+
+class Predicate:
+    """Base class; subclasses implement :meth:`matches`."""
+
+    def matches(self, read_field: Callable[[str], Any]) -> bool:
+        """Evaluate against a field-reader for one tuple."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "Conjunction":
+        return Conjunction((self, other))
+
+    def __or__(self, other: "Predicate") -> "Disjunction":
+        return Disjunction((self, other))
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``field <op> value`` (or ``field BETWEEN low AND high``)."""
+
+    field: str
+    op: Op
+    value: Any = None
+    high: Any = None  # BETWEEN only
+
+    def __post_init__(self) -> None:
+        if self.op is Op.BETWEEN and self.high is None:
+            raise ValueError("BETWEEN requires both bounds")
+
+    def matches(self, read_field: Callable[[str], Any]) -> bool:
+        actual = read_field(self.field)
+        count_compare()
+        if self.op is Op.EQ:
+            return actual == self.value
+        if self.op is Op.NE:
+            return actual != self.value
+        if self.op is Op.LT:
+            return actual < self.value
+        if self.op is Op.LE:
+            return actual <= self.value
+        if self.op is Op.GT:
+            return actual > self.value
+        if self.op is Op.GE:
+            return actual >= self.value
+        count_compare()
+        return self.value <= actual <= self.high
+
+    def key_range(self) -> Tuple[Optional[Any], Optional[Any], bool, bool]:
+        """(low, high, include_low, include_high) for an ordered index."""
+        if self.op is Op.EQ:
+            return self.value, self.value, True, True
+        if self.op is Op.LT:
+            return None, self.value, True, False
+        if self.op is Op.LE:
+            return None, self.value, True, True
+        if self.op is Op.GT:
+            return self.value, None, False, True
+        if self.op is Op.GE:
+            return self.value, None, True, True
+        if self.op is Op.BETWEEN:
+            return self.value, self.high, True, True
+        raise ValueError(f"{self.op} has no key range")
+
+    def __repr__(self) -> str:
+        if self.op is Op.BETWEEN:
+            return f"({self.field} BETWEEN {self.value!r} AND {self.high!r})"
+        return f"({self.field} {self.op.value} {self.value!r})"
+
+
+@dataclass(frozen=True)
+class Conjunction(Predicate):
+    """AND of several predicates."""
+
+    parts: Tuple[Predicate, ...]
+
+    def matches(self, read_field: Callable[[str], Any]) -> bool:
+        return all(part.matches(read_field) for part in self.parts)
+
+    def comparisons(self) -> Tuple[Comparison, ...]:
+        """Flattened comparison leaves (for access-path selection)."""
+        result = []
+        for part in self.parts:
+            if isinstance(part, Comparison):
+                result.append(part)
+            elif isinstance(part, Conjunction):
+                result.extend(part.comparisons())
+        return tuple(result)
+
+    def __repr__(self) -> str:
+        return " AND ".join(repr(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Disjunction(Predicate):
+    """OR of several predicates — the paper's Query 2 shape ("employees
+    who work in the Toy or Shoe Departments")."""
+
+    parts: Tuple[Predicate, ...]
+
+    def matches(self, read_field: Callable[[str], Any]) -> bool:
+        return any(part.matches(read_field) for part in self.parts)
+
+    def equality_keys(self) -> "Optional[Tuple[str, Tuple[Any, ...]]]":
+        """``(field, keys)`` when every branch is an equality on one
+        common field — servable as a union of index lookups — else None.
+        """
+        field_name: Optional[str] = None
+        keys = []
+        for part in self.parts:
+            if not isinstance(part, Comparison) or part.op is not Op.EQ:
+                return None
+            if field_name is None:
+                field_name = part.field
+            elif part.field != field_name:
+                return None
+            keys.append(part.value)
+        if field_name is None:
+            return None
+        return field_name, tuple(keys)
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(repr(p) for p in self.parts) + ")"
+
+
+def eq(field: str, value: Any) -> Comparison:
+    """``field = value``"""
+    return Comparison(field, Op.EQ, value)
+
+
+def ne(field: str, value: Any) -> Comparison:
+    """``field != value``"""
+    return Comparison(field, Op.NE, value)
+
+
+def lt(field: str, value: Any) -> Comparison:
+    """``field < value``"""
+    return Comparison(field, Op.LT, value)
+
+
+def le(field: str, value: Any) -> Comparison:
+    """``field <= value``"""
+    return Comparison(field, Op.LE, value)
+
+
+def gt(field: str, value: Any) -> Comparison:
+    """``field > value``"""
+    return Comparison(field, Op.GT, value)
+
+
+def ge(field: str, value: Any) -> Comparison:
+    """``field >= value``"""
+    return Comparison(field, Op.GE, value)
+
+
+def between(field: str, low: Any, high: Any) -> Comparison:
+    """``field BETWEEN low AND high`` (inclusive)."""
+    return Comparison(field, Op.BETWEEN, low, high)

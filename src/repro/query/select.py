@@ -1,0 +1,75 @@
+"""Selection access paths (paper Sections 3.2 and 4).
+
+"There are three possible access paths for selection (hash lookup, tree
+lookup, or sequential scan through an unrelated index)" with a definite
+preference order: "a hash lookup (exact match only) is always faster than
+a tree lookup which is always faster than a sequential scan."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional
+
+from repro.errors import UnsupportedOperationError
+from repro.indexes.base import Index, OrderedIndex
+from repro.query.predicates import Predicate
+
+
+def select_hash(index: Index, key: Any) -> List[Any]:
+    """Exact-match lookup through a hash index (fastest path)."""
+    return index.search_all(key)
+
+
+def select_tree_exact(index: OrderedIndex, key: Any) -> List[Any]:
+    """Exact-match lookup through an ordered (tree/array) index."""
+    if not index.ordered:
+        raise UnsupportedOperationError(
+            f"{index.kind} is not an ordered index"
+        )
+    return index.search_all(key)
+
+
+def select_tree_range(
+    index: OrderedIndex,
+    low: Any = None,
+    high: Any = None,
+    include_low: bool = True,
+    include_high: bool = True,
+) -> List[Any]:
+    """Range lookup through an ordered index.
+
+    Only the order-preserving structures support this — it is the
+    operation that keeps T-Trees in the design next to hashing.
+    """
+    if not index.ordered:
+        raise UnsupportedOperationError(
+            f"{index.kind} cannot serve range queries"
+        )
+    return list(index.range_scan(low, high, include_low, include_high))
+
+
+def select_scan(
+    items: Iterable[Any],
+    matches: Callable[[Any], bool],
+) -> List[Any]:
+    """Sequential scan with a residual predicate (slowest path).
+
+    ``items`` is a scan of any index of the relation ("sequential scan
+    through an unrelated index" — relations have no direct traversal).
+    """
+    return [item for item in items if matches(item)]
+
+
+def select_from_relation(relation, predicate: Predicate) -> List[Any]:
+    """Predicate-driven scan over a relation's tuples.
+
+    A convenience used by tests and the executor's fallback path; access
+    goes through :meth:`Relation.any_index`, never directly.
+    """
+
+    def matcher(ref: Any) -> bool:
+        return predicate.matches(
+            lambda field_name: relation.read_field(ref, field_name)
+        )
+
+    return select_scan(relation.any_index().scan(), matcher)

@@ -1,0 +1,31 @@
+"""Recovery (paper Section 2.4, Figure 2).
+
+Components, matching Figure 2:
+
+* :class:`~repro.recovery.log.StableLogBuffer` — battery-backed RAM that
+  receives log records *before* updates are applied;
+* :class:`~repro.recovery.disk.SimulatedDisk` — the disk copy of the
+  database (partition images), with I/O counters;
+* :class:`~repro.recovery.log_device.LogDevice` — "reads the updates of
+  committed transactions from the stable log buffer and updates the disk
+  copy of the database"; holds a change-accumulation log so it need not
+  write the disk copy on every modification;
+* :mod:`repro.recovery.restart` — crash restart: working-set partitions
+  are read first (merging unpropagated log entries on the fly), the
+  database resumes, and a background pass reloads the rest.
+"""
+
+from repro.recovery.disk import SimulatedDisk
+from repro.recovery.log import CommitRecord, LogRecord, StableLogBuffer
+from repro.recovery.log_device import LogDevice
+from repro.recovery.restart import RecoveryManager, RestartStats
+
+__all__ = [
+    "CommitRecord",
+    "LogDevice",
+    "LogRecord",
+    "RecoveryManager",
+    "RestartStats",
+    "SimulatedDisk",
+    "StableLogBuffer",
+]

@@ -1,0 +1,133 @@
+"""Log records and the stable log buffer.
+
+"The MM-DBMS writes all log information directly into a stable log buffer
+before the actual update is done to the database, as is done in IMS
+FASTPATH.  If the transaction aborts, then the log entry is removed and no
+undo is needed.  If the transaction commits, then the updates are
+propagated to the database."
+
+The stable buffer models battery-backed RAM: it survives a crash of the
+main memory (the :meth:`StableLogBuffer.survive_crash` contract) but not a
+media failure — that is what the disk copy is for.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One physical change to one partition.
+
+    ``kind`` is "insert" | "update" | "delete" | "forward"; ``payload``
+    carries the kind-specific fields (slot, values, position, target...).
+    The (relation, partition) pair is the paper's recovery unit.
+    """
+
+    lsn: int
+    txn_id: int
+    relation: str
+    partition_id: int
+    kind: str
+    payload: Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """Marks ``txn_id`` as durably committed at ``lsn``."""
+
+    lsn: int
+    txn_id: int
+
+
+class StableLogBuffer:
+    """Battery-backed RAM holding log records until the log device drains
+    them.
+
+    Records of a transaction become visible to the log device only after
+    its :class:`CommitRecord` arrives; aborting removes them outright.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._next_lsn = 1
+        self._pending: Dict[int, List[LogRecord]] = {}
+        self._committed: List[LogRecord] = []
+        self.records_written = 0
+        self.commits = 0
+        self.aborts = 0
+
+    def append(
+        self,
+        txn_id: int,
+        relation: str,
+        partition_id: int,
+        kind: str,
+        payload: Dict[str, Any],
+    ) -> LogRecord:
+        """Write one record on behalf of an active transaction."""
+        with self._mutex:
+            record = LogRecord(
+                self._next_lsn, txn_id, relation, partition_id, kind, payload
+            )
+            self._next_lsn += 1
+            self._pending.setdefault(txn_id, []).append(record)
+            self.records_written += 1
+            return record
+
+    def commit(self, txn_id: int) -> CommitRecord:
+        """Seal a transaction's records; they become drainable."""
+        with self._mutex:
+            records = self._pending.pop(txn_id, [])
+            self._committed.extend(records)
+            commit = CommitRecord(self._next_lsn, txn_id)
+            self._next_lsn += 1
+            self.commits += 1
+            return commit
+
+    def abort(self, txn_id: int) -> int:
+        """Discard a transaction's records ("no undo is needed").
+
+        Returns the number of records removed.
+        """
+        with self._mutex:
+            removed = self._pending.pop(txn_id, [])
+            self.aborts += 1
+            return len(removed)
+
+    def drain_committed(self) -> List[LogRecord]:
+        """Hand all committed records to the log device, removing them.
+
+        Order is LSN order, preserving the write sequence across
+        transactions.
+        """
+        with self._mutex:
+            drained = sorted(self._committed, key=lambda r: r.lsn)
+            self._committed = []
+            return drained
+
+    @property
+    def committed_backlog(self) -> int:
+        """Committed records not yet drained by the log device."""
+        with self._mutex:
+            return len(self._committed)
+
+    @property
+    def pending_transactions(self) -> int:
+        """Active transactions with buffered records."""
+        with self._mutex:
+            return len(self._pending)
+
+    def survive_crash(self) -> "StableLogBuffer":
+        """A crash of main memory: the stable buffer persists as-is.
+
+        Pending (uncommitted) records are dropped — their transactions
+        died with the crash and, under deferred updates, never touched
+        the database.
+        """
+        with self._mutex:
+            self._pending.clear()
+            return self

@@ -1,0 +1,190 @@
+"""Crash restart: working set first, background reload after.
+
+"Given the size of memory, applications that depend on the DBMS will
+probably not be able to afford to wait for the entire database to be
+reloaded ...  we are developing an approach that will allow normal
+processing to continue immediately ...  Once the working set has been read
+in, the MM-DBMS should be able to run at close to its normal rate while
+the remainder of the database is read in by a background process."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import RecoveryError
+from repro.recovery.disk import SimulatedDisk
+from repro.recovery.log import StableLogBuffer
+from repro.recovery.log_device import LogDevice
+from repro.storage.catalog import Catalog
+
+PartitionKey = Tuple[str, int]
+
+
+@dataclass
+class RestartStats:
+    """What one restart did, in the paper's units (partitions = tracks)."""
+
+    working_set_partitions: int = 0
+    background_partitions: int = 0
+    log_records_merged: int = 0
+
+    @property
+    def total_partitions(self) -> int:
+        """All partitions reloaded."""
+        return self.working_set_partitions + self.background_partitions
+
+
+class RecoveryManager:
+    """Checkpointing, crash simulation, and two-phase restart."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        disk: SimulatedDisk = None,
+        stable_log: StableLogBuffer = None,
+    ) -> None:
+        self.catalog = catalog
+        self.disk = disk if disk is not None else SimulatedDisk()
+        self.stable_log = (
+            stable_log if stable_log is not None else StableLogBuffer()
+        )
+        self.log_device = LogDevice(self.disk, self.stable_log)
+        self._pending_background: List[PartitionKey] = []
+
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+
+    def checkpoint_partition(self, relation_name: str, partition_id: int) -> None:
+        """Write one partition's current image to the disk copy.
+
+        Committed records still queued for this partition are discarded:
+        the fresh image already contains their effects, and replaying
+        them on top of it would corrupt the copy.
+        """
+        relation = self.catalog.relation(relation_name)
+        partition = relation.partition(partition_id)
+        self.log_device.absorb()
+        self.disk.write_partition(
+            relation_name, partition_id, partition.to_bytes()
+        )
+        self.log_device.discard_pending(relation_name, partition_id)
+
+    def checkpoint_all(self) -> int:
+        """Full checkpoint: every partition of every relation.
+
+        Returns the number of partitions written.  New partitions created
+        since the last checkpoint get their base image here; the engine
+        also checkpoints each new partition eagerly so that log replay
+        always has a base image.
+        """
+        self.log_device.absorb()
+        written = 0
+        for relation_name, partition in self.catalog.all_partitions():
+            self.disk.write_partition(
+                relation_name, partition.id, partition.to_bytes()
+            )
+            self.log_device.discard_pending(relation_name, partition.id)
+            written += 1
+        return written
+
+    # ------------------------------------------------------------------ #
+    # crash + restart
+    # ------------------------------------------------------------------ #
+
+    def crash(self) -> None:
+        """Simulate loss of main memory.
+
+        Relations lose their partitions and indexes; the disk copy, the
+        stable log buffer (battery-backed), and the log device's
+        change-accumulation log survive.
+        """
+        self.stable_log.survive_crash()
+        self.log_device.survive_crash()
+        for relation in self.catalog:
+            relation._partitions.clear()
+            relation._count = 0
+
+    def restart(
+        self,
+        working_set: Optional[Sequence[PartitionKey]] = None,
+    ) -> RestartStats:
+        """Reload the working set and queue the rest for background load.
+
+        ``working_set`` lists (relation, partition id) pairs the current
+        transactions need; None means "everything now".  After this
+        returns, working-set relations are usable (indexes rebuilt);
+        call :meth:`background_reload_step` until it returns 0 to finish.
+        """
+        # Anything still sitting committed-but-undrained moves to the
+        # change-accumulation log first.
+        self.log_device.absorb()
+        stats = RestartStats()
+        all_keys = self.disk.partition_keys()
+        if working_set is None:
+            wanted: List[PartitionKey] = list(all_keys)
+        else:
+            wanted = [key for key in working_set if key in set(all_keys)]
+            missing = set(working_set) - set(all_keys)
+            if missing:
+                raise RecoveryError(
+                    f"working set names unknown partitions: {sorted(missing)}"
+                )
+        loaded: Set[PartitionKey] = set()
+        for relation_name, partition_id in wanted:
+            merged = self._reload_one(relation_name, partition_id)
+            stats.working_set_partitions += 1
+            stats.log_records_merged += merged
+            loaded.add((relation_name, partition_id))
+        self._pending_background = [
+            key for key in all_keys if key not in loaded
+        ]
+        # Indexes must reflect whatever is in memory so the working-set
+        # relations are immediately queryable.
+        self._rebuild_touched_indexes(loaded)
+        return stats
+
+    def _reload_one(self, relation_name: str, partition_id: int) -> int:
+        relation = self.catalog.relation(relation_name)
+        pending = len(self.log_device.pending_for(relation_name, partition_id))
+        partition = self.log_device.load_partition_with_merge(
+            relation_name, partition_id
+        )
+        relation.adopt_partition(partition)
+        return pending
+
+    def _rebuild_touched_indexes(self, keys: Set[PartitionKey]) -> None:
+        touched_relations = {name for name, __ in keys}
+        for name in touched_relations:
+            self.catalog.relation(name).rebuild_indexes()
+
+    def background_reload_step(self, batch: int = 1) -> int:
+        """Reload up to ``batch`` remaining partitions ("read in by a
+        background process").  Returns how many were loaded; 0 when done.
+        """
+        loaded: Set[PartitionKey] = set()
+        for __ in range(batch):
+            if not self._pending_background:
+                break
+            relation_name, partition_id = self._pending_background.pop(0)
+            self._reload_one(relation_name, partition_id)
+            loaded.add((relation_name, partition_id))
+        if loaded:
+            self._rebuild_touched_indexes(loaded)
+        return len(loaded)
+
+    @property
+    def background_remaining(self) -> int:
+        """Partitions still queued for background reload."""
+        return len(self._pending_background)
+
+    def finish_background_reload(self) -> int:
+        """Drain the background queue completely."""
+        total = 0
+        while True:
+            step = self.background_reload_step(batch=16)
+            if step == 0:
+                return total
+            total += step

@@ -1,0 +1,32 @@
+"""A small SQL front-end for the MM-DBMS.
+
+The paper predates SQL's ubiquity, but its architecture is explicitly
+relational; this package gives the engine the query interface a
+downstream user expects.  Supported statements::
+
+    CREATE TABLE Emp (Name TEXT, Id INT, Age INT,
+                      Dept INT REFERENCES Dept(Id),
+                      PRIMARY KEY (Id))
+    CREATE UNIQUE INDEX by_name ON Emp (Name) USING modified_linear_hash
+    INSERT INTO Emp VALUES ('Dave', 23, 24, 459), ('Suzan', 12, 27, 459)
+    SELECT Name, Age FROM Emp WHERE Age > 25 AND Age <= 60
+    SELECT Name FROM Emp WHERE Id = 23 OR Id = 44   -- AND binds tighter
+    SELECT DISTINCT d.* ...           -- (qualified stars not supported)
+    SELECT * FROM Emp JOIN Dept ON Dept = Id USING tree_merge
+    SELECT ... ORDER BY Age DESC LIMIT 10
+    UPDATE Emp SET Age = 25 WHERE Id = 23
+    DELETE FROM Emp WHERE Age >= 65
+    DROP INDEX by_name ON Emp
+    DROP TABLE Emp
+    EXPLAIN SELECT ...
+
+Everything lowers onto the paper's machinery: WHERE clauses go through
+the Section 4 access-path rules, joins through the join-method
+preference order (with ``USING <method>`` to force one), and DISTINCT is
+hash-based duplicate elimination.
+"""
+
+from repro.sql.interpreter import SQLInterpreter
+from repro.sql.parser import SQLSyntaxError, parse_statement
+
+__all__ = ["SQLInterpreter", "SQLSyntaxError", "parse_statement"]

@@ -1,0 +1,112 @@
+"""An interactive SQL shell over a fresh MM-DBMS.
+
+Run:  python -m repro.sql
+
+Commands beyond SQL: ``.help``, ``.tables``, ``.indexes <table>``,
+``.quit``.  Statements end at the newline (no multi-line continuation).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import MainMemoryDatabase, ReproError
+from repro.query.aggregate import ValueTable
+from repro.storage.temporary import TemporaryList
+
+BANNER = """repro SQL shell — a main-memory DBMS after Lehman & Carey (1986)
+Type SQL statements, or .help for shell commands."""
+
+HELP = """Shell commands:
+  .help               this message
+  .tables             list relations
+  .indexes <table>    list a relation's indexes
+  .quit               exit
+Anything else is parsed as SQL (see repro.sql for the dialect)."""
+
+
+def render(result) -> str:
+    """Pretty-print a statement result."""
+    if result is None:
+        return "ok"
+    if isinstance(result, str):
+        return result
+    if isinstance(result, int):
+        return f"{result} row(s) affected"
+    if isinstance(result, list):  # INSERT's tuple pointers
+        return f"inserted {len(result)} row(s)"
+    if isinstance(result, (TemporaryList, ValueTable)):
+        if isinstance(result, TemporaryList):
+            columns = result.descriptor.column_names
+            rows = result.materialize(resolve_refs=True)
+        else:
+            columns = result.columns
+            rows = result.rows()
+        if not rows:
+            return "(empty)"
+        widths = [
+            max(len(str(c)), *(len(str(r[i])) for r in rows))
+            for i, c in enumerate(columns)
+        ]
+        lines = [
+            " | ".join(str(c).ljust(w) for c, w in zip(columns, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in rows:
+            lines.append(
+                " | ".join(str(v).ljust(w) for v, w in zip(row, widths))
+            )
+        lines.append(f"({len(rows)} row(s))")
+        return "\n".join(lines)
+    return repr(result)
+
+
+def run_command(db: MainMemoryDatabase, line: str) -> bool:
+    """Handle a dot-command; returns False to exit the shell."""
+    parts = line.split()
+    if parts[0] == ".quit":
+        return False
+    if parts[0] == ".help":
+        print(HELP)
+    elif parts[0] == ".tables":
+        for name in db.catalog.names:
+            relation = db.relation(name)
+            print(f"  {name} ({len(relation)} rows, "
+                  f"{len(relation.indexes)} indexes)")
+    elif parts[0] == ".indexes" and len(parts) > 1:
+        try:
+            relation = db.relation(parts[1])
+        except ReproError as exc:
+            print(f"error: {exc}")
+            return True
+        for name, index in relation.indexes.items():
+            unique = "unique " if index.unique else ""
+            print(f"  {name}: {unique}{index.kind} on {index.field_name}")
+    else:
+        print(f"unknown command {parts[0]!r}; try .help")
+    return True
+
+
+def main() -> int:
+    db = MainMemoryDatabase()
+    print(BANNER)
+    while True:
+        try:
+            line = input("sql> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        if not line:
+            continue
+        if line.startswith("."):
+            if not run_command(db, line):
+                return 0
+            continue
+        try:
+            print(render(db.sql(line)))
+        except ReproError as exc:
+            print(f"error: {exc}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,497 @@
+"""Lowers parsed SQL statements onto the MM-DBMS engine.
+
+The interpreter is a thin layer: WHERE clauses become the predicate
+algebra (and hence the Section 4 access-path rules), joins go through the
+optimizer's method preference (or a ``USING`` override), DISTINCT is
+hash-based duplicate elimination, and ORDER BY uses the paper's
+instrumented quicksort on the pointer rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import QueryError, SchemaError
+from repro.query.plan import JoinNode, ScanNode
+from repro.query.predicates import (
+    Comparison,
+    Conjunction,
+    Op,
+    Predicate,
+    between,
+)
+from repro.query.sort import quicksort
+from repro.sql import parser as ast
+from repro.storage.schema import Field, FieldType, ForeignKey
+from repro.storage.temporary import TemporaryList
+
+_FIELD_TYPES = {
+    "int": FieldType.INT,
+    "float": FieldType.FLOAT,
+    "str": FieldType.STR,
+}
+
+_OPS = {
+    "=": Op.EQ,
+    "!=": Op.NE,
+    "<": Op.LT,
+    "<=": Op.LE,
+    ">": Op.GT,
+    ">=": Op.GE,
+}
+
+
+def _tree_to_predicate(tree) -> Predicate:
+    """One condition tree (Condition or ConditionGroup) to a Predicate."""
+    from repro.query.predicates import Disjunction
+
+    if isinstance(tree, ast.ConditionGroup):
+        parts = tuple(_tree_to_predicate(child) for child in tree.children)
+        if tree.op == "or":
+            return Disjunction(parts)
+        return Conjunction(parts)
+    if tree.op == "between":
+        return between(tree.column, tree.value, tree.high)
+    return Comparison(tree.column, _OPS[tree.op], tree.value)
+
+
+def _tree_leaves(tree) -> List[ast.Condition]:
+    """All Condition leaves of a condition tree."""
+    if isinstance(tree, ast.ConditionGroup):
+        leaves: List[ast.Condition] = []
+        for child in tree.children:
+            leaves.extend(_tree_leaves(child))
+        return leaves
+    return [tree]
+
+
+def _conditions_to_predicate(conditions: Sequence) -> Optional[Predicate]:
+    parts: List[Predicate] = [
+        _tree_to_predicate(tree) for tree in conditions
+    ]
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    return Conjunction(tuple(parts))
+
+
+class SQLInterpreter:
+    """Executes SQL text against a :class:`MainMemoryDatabase`."""
+
+    def __init__(self, db) -> None:
+        self.db = db
+
+    # ------------------------------------------------------------------ #
+    # entry point
+    # ------------------------------------------------------------------ #
+
+    def execute(self, text: str):
+        """Parse and run one statement.
+
+        Returns: a :class:`TemporaryList` for SELECT, a plan string for
+        EXPLAIN, a list of tuple pointers for INSERT, an affected-row
+        count for UPDATE/DELETE, and None for DDL.
+        """
+        statement = ast.parse_statement(text)
+        handler = getattr(self, f"_run_{type(statement).__name__.lower()}")
+        return handler(statement)
+
+    # ------------------------------------------------------------------ #
+    # DDL
+    # ------------------------------------------------------------------ #
+
+    def _run_createtable(self, stmt: ast.CreateTable) -> None:
+        fields = []
+        for col in stmt.columns:
+            references = None
+            if col.references is not None:
+                references = ForeignKey(col.references[0], col.references[1])
+            fields.append(
+                Field(col.name, _FIELD_TYPES[col.type_name], references)
+            )
+        self.db.create_relation(stmt.name, fields, primary_key=stmt.primary_key)
+
+    def _run_createindex(self, stmt: ast.CreateIndex) -> None:
+        field: Union[str, List[str]] = (
+            stmt.columns[0] if len(stmt.columns) == 1 else list(stmt.columns)
+        )
+        self.db.create_index(
+            stmt.table,
+            stmt.name,
+            field,
+            kind=stmt.kind if stmt.kind is not None else "ttree",
+            unique=stmt.unique,
+        )
+
+    def _run_droptable(self, stmt: ast.DropTable) -> None:
+        self.db.catalog.drop_relation(stmt.name)
+
+    def _run_dropindex(self, stmt: ast.DropIndex) -> None:
+        self.db.relation(stmt.table).drop_index(stmt.name)
+
+    # ------------------------------------------------------------------ #
+    # DML
+    # ------------------------------------------------------------------ #
+
+    def _run_insert(self, stmt: ast.Insert) -> list:
+        refs = []
+        for row in stmt.rows:
+            refs.append(self.db.insert(stmt.table, list(row)))
+        return refs
+
+    def _run_update(self, stmt: ast.Update) -> int:
+        predicate = _conditions_to_predicate(stmt.conditions)
+        matching = self.db.select(stmt.table, predicate)
+        count = 0
+        for row in list(matching):
+            for column, value in stmt.assignments:
+                self.db.update(stmt.table, row[0], column, value)
+            count += 1
+        return count
+
+    def _run_delete(self, stmt: ast.Delete) -> int:
+        predicate = _conditions_to_predicate(stmt.conditions)
+        matching = self.db.select(stmt.table, predicate)
+        count = 0
+        for row in list(matching):
+            self.db.delete(stmt.table, row[0])
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def _split_join_conditions(
+        self, stmt: ast.Select
+    ) -> Tuple[Optional[Predicate], Optional[Predicate]]:
+        """Assign WHERE conditions to the outer or inner relation."""
+        outer_rel = self.db.relation(stmt.table)
+        inner_rel = self.db.relation(stmt.join_table)
+        outer_conditions, inner_conditions = [], []
+        for cond in stmt.conditions:
+            column = cond.column
+            if "." in column:
+                qualifier, field = column.rsplit(".", 1)
+                if qualifier == stmt.table:
+                    outer_conditions.append(
+                        ast.Condition(field, cond.op, cond.value, cond.high)
+                    )
+                    continue
+                if qualifier == stmt.join_table:
+                    inner_conditions.append(
+                        ast.Condition(field, cond.op, cond.value, cond.high)
+                    )
+                    continue
+                raise QueryError(
+                    f"WHERE qualifier {qualifier!r} is neither "
+                    f"{stmt.table} nor {stmt.join_table}"
+                )
+            if column in outer_rel.schema.names:
+                outer_conditions.append(cond)
+            elif column in inner_rel.schema.names:
+                inner_conditions.append(cond)
+            else:
+                raise QueryError(
+                    f"WHERE column {column!r} is in neither "
+                    f"{stmt.table} nor {stmt.join_table}"
+                )
+        return (
+            _conditions_to_predicate(outer_conditions),
+            _conditions_to_predicate(inner_conditions),
+        )
+
+    def _run_select(self, stmt: ast.Select):
+        has_group = any(
+            isinstance(cond, ast.ConditionGroup) for cond in stmt.conditions
+        )
+        if not stmt.joins:
+            predicate = _conditions_to_predicate(stmt.conditions)
+            result = self.db.select(stmt.table, predicate)
+        elif has_group:
+            # OR-bearing WHERE clauses over joins go through the generic
+            # chain planner (cross-table disjunctions filter post-join).
+            result = self._run_join_chain(stmt)
+        elif len(stmt.joins) == 1:
+            outer_pred, inner_pred = self._split_join_conditions(stmt)
+            clause = stmt.joins[0]
+            result = self.db.join(
+                stmt.table,
+                clause.table,
+                on=(clause.left, clause.right),
+                method=clause.method if clause.method else "auto",
+                outer_predicate=outer_pred,
+                inner_predicate=inner_pred,
+                op=clause.op,
+            )
+        else:
+            result = self._run_join_chain(stmt)
+        if stmt.aggregates or stmt.group_by:
+            return self._aggregate(stmt, result)
+        if stmt.columns:
+            result = self.db.project(
+                result, list(stmt.columns), deduplicate=stmt.distinct
+            )
+        elif stmt.distinct:
+            result = self.db.project(
+                result, result.descriptor.column_names, deduplicate=True
+            )
+        if stmt.order_by is not None:
+            result = self._order_by(result, stmt.order_by, stmt.order_desc)
+        if stmt.limit is not None:
+            result = TemporaryList(
+                result.descriptor, result.rows()[: stmt.limit]
+            )
+        return result
+
+    def _aggregate(self, stmt: ast.Select, result: TemporaryList):
+        """GROUP BY / aggregate evaluation over a temporary list.
+
+        Returns a :class:`~repro.query.aggregate.ValueTable` of computed
+        values (the one result kind that is not tuple pointers).
+        """
+        from repro.query.aggregate import AggregateSpec, group_aggregate
+
+        if not stmt.aggregates:
+            raise QueryError("GROUP BY without aggregates; use DISTINCT")
+        # Plain select-list columns must be grouping columns.
+        for column in stmt.columns:
+            if column not in stmt.group_by:
+                raise QueryError(
+                    f"column {column!r} must appear in GROUP BY or inside "
+                    "an aggregate"
+                )
+        group_extractors = [
+            (name, result.value_extractor(name)) for name in stmt.group_by
+        ]
+        specs = [
+            AggregateSpec(call.func, call.column, call.label)
+            for call in stmt.aggregates
+        ]
+        table = group_aggregate(
+            result.rows(), group_extractors, specs, result.value_extractor
+        )
+        if stmt.order_by is not None:
+            table = table.sort_by(stmt.order_by, stmt.order_desc)
+        if stmt.limit is not None:
+            table = table.limit(stmt.limit)
+        return table
+
+    # ------------------------------------------------------------------ #
+    # multi-way join chains (left-deep plans)
+    # ------------------------------------------------------------------ #
+
+    def _owner_table(self, column: str, tables: Sequence[str]):
+        """Which of ``tables`` owns ``column``; returns (table, field).
+
+        A qualified name picks its table directly; a bare name must be
+        unambiguous across the joined tables.
+        """
+        if "." in column:
+            qualifier, field = column.rsplit(".", 1)
+            if qualifier not in tables:
+                raise QueryError(
+                    f"qualifier {qualifier!r} is not among {list(tables)}"
+                )
+            return qualifier, field
+        owners = [
+            t for t in tables
+            if column in self.db.relation(t).schema.names
+        ]
+        if not owners:
+            raise QueryError(
+                f"column {column!r} is in none of {list(tables)}"
+            )
+        if len(owners) > 1:
+            raise QueryError(
+                f"column {column!r} is ambiguous across {owners}; "
+                "qualify it"
+            )
+        return owners[0], column
+
+    def _chain_method(self, prev_tables, clause: "ast.JoinClause"):
+        """Join method + right column for one chain step."""
+        from repro.query.plan import REF_COLUMN
+
+        owner, field = self._owner_table(clause.left, prev_tables)
+        owner_rel = self.db.relation(owner)
+        logical = owner_rel.schema.field(field)
+        # Normalise a "Table.field" right column to its bare field when
+        # the qualifier names the joined table.
+        right = clause.right
+        if "." in right:
+            qualifier, bare = right.rsplit(".", 1)
+            if qualifier == clause.table:
+                right = bare
+        clause = ast.JoinClause(
+            clause.table, clause.left, right, clause.op, clause.method
+        )
+        is_fk = (
+            logical.references is not None
+            and logical.references.relation == clause.table
+            and logical.references.field == clause.right
+        )
+        if clause.method is not None:
+            method = clause.method
+            if method == "precomputed" or is_fk:
+                # The stored value is a tuple pointer; every method must
+                # compare pointers against the target's own pointer.
+                return method, REF_COLUMN
+            return method, clause.right
+        if clause.op != "=":
+            target = self.db.relation(clause.table)
+            if (
+                clause.op != "!="
+                and target.index_on(clause.right, ordered=True) is not None
+            ):
+                return "tree", clause.right
+            return "nested_loops", clause.right
+        if is_fk:
+            return "precomputed", REF_COLUMN
+        return "hash", clause.right
+
+    def _bare_tree(self, tree, tables):
+        """Strip table qualifiers from every leaf of a condition tree."""
+        if isinstance(tree, ast.ConditionGroup):
+            return ast.ConditionGroup(
+                tree.op,
+                tuple(self._bare_tree(child, tables) for child in tree.children),
+            )
+        __, field = self._owner_table(tree.column, tables)
+        return ast.Condition(field, tree.op, tree.value, tree.high)
+
+    def _residual_predicate(self, tree, tables) -> Predicate:
+        """Condition tree → post-join predicate: per-leaf FK rewriting
+        plus owner qualification (handles cross-table disjunctions)."""
+        from repro.query.predicates import Disjunction
+
+        if isinstance(tree, ast.ConditionGroup):
+            parts = tuple(
+                self._residual_predicate(child, tables)
+                for child in tree.children
+            )
+            if tree.op == "or":
+                return Disjunction(parts)
+            return Conjunction(parts)
+        owner, field = self._owner_table(tree.column, tables)
+        bare = ast.Condition(field, tree.op, tree.value, tree.high)
+        rewritten = self.db._rewrite_fk_predicate(
+            owner, _tree_to_predicate(bare)
+        )
+        return self._qualify_predicate(rewritten, owner)
+
+    @staticmethod
+    def _qualify_predicate(predicate: Predicate, owner: str) -> Predicate:
+        """Prefix a rewritten predicate's columns with ``owner.``."""
+        from repro.engine.database import _FKValueComparison
+
+        if isinstance(predicate, Comparison):
+            return Comparison(
+                f"{owner}.{predicate.field}",
+                predicate.op,
+                predicate.value,
+                predicate.high,
+            )
+        if isinstance(predicate, Conjunction):
+            return Conjunction(
+                tuple(
+                    SQLInterpreter._qualify_predicate(part, owner)
+                    for part in predicate.parts
+                )
+            )
+        from repro.query.predicates import Disjunction
+
+        if isinstance(predicate, Disjunction):
+            return Disjunction(
+                tuple(
+                    SQLInterpreter._qualify_predicate(part, owner)
+                    for part in predicate.parts
+                )
+            )
+        if isinstance(predicate, _FKValueComparison):
+            return _FKValueComparison(
+                SQLInterpreter._qualify_predicate(
+                    predicate.comparison, owner
+                ),
+                predicate.target,
+                predicate.key_field,
+            )
+        return predicate  # _NeverMatches and friends need no renaming
+
+    def _run_join_chain(self, stmt: ast.Select) -> TemporaryList:
+        from repro.query.plan import FilterNode, JoinNode, ScanNode
+
+        tables = [stmt.table] + [clause.table for clause in stmt.joins]
+        base_conditions: List = []
+        residual: List[Predicate] = []
+        for cond in stmt.conditions:
+            leaves = _tree_leaves(cond)
+            owners = {
+                self._owner_table(leaf.column, tables)[0] for leaf in leaves
+            }
+            if owners == {stmt.table}:
+                base_conditions.append(self._bare_tree(cond, tables))
+            else:
+                # Re-qualified so the post-join filter resolves columns
+                # against the right sources even when names collide;
+                # cross-table disjunctions are fine here.
+                residual.append(self._residual_predicate(cond, tables))
+        base_pred = self.db._rewrite_fk_predicate(
+            stmt.table, _conditions_to_predicate(base_conditions)
+        )
+        plan = self.db.optimizer.plan_selection(stmt.table, base_pred)
+        prev_tables = [stmt.table]
+        for clause in stmt.joins:
+            method, right_col = self._chain_method(prev_tables, clause)
+            plan = JoinNode(
+                plan, ScanNode(clause.table), clause.left, right_col,
+                method, clause.op,
+            )
+            prev_tables.append(clause.table)
+        if residual:
+            predicate = (
+                residual[0]
+                if len(residual) == 1
+                else Conjunction(tuple(residual))
+            )
+            plan = FilterNode(plan, predicate)
+        return self.db.executor.execute(plan)
+
+    def _order_by(
+        self, result: TemporaryList, column: str, descending: bool
+    ) -> TemporaryList:
+        extractor = result.value_extractor(column)
+        rows = list(result.rows())
+        quicksort(rows, key_of=extractor)
+        if descending:
+            rows.reverse()
+        return TemporaryList(result.descriptor, rows)
+
+    def _run_explain(self, stmt: ast.Explain) -> str:
+        select = stmt.select
+        if select.join_table is None:
+            predicate = _conditions_to_predicate(select.conditions)
+            plan = self.db.optimizer.plan_selection(select.table, predicate)
+        else:
+            outer_pred, inner_pred = self._split_join_conditions(select)
+            if select.join_op != "=" or select.join_method:
+                method = select.join_method or "nested_loops"
+                plan = JoinNode(
+                    self.db.optimizer.plan_selection(select.table, outer_pred),
+                    ScanNode(select.join_table),
+                    select.join_left,
+                    select.join_right,
+                    method,
+                    select.join_op,
+                )
+            else:
+                plan = self.db.optimizer.plan_join(
+                    select.table,
+                    select.join_table,
+                    select.join_left,
+                    select.join_right,
+                    outer_pred,
+                    inner_pred,
+                )
+        return plan.explain()

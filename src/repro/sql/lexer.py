@@ -1,0 +1,101 @@
+"""SQL tokenizer.
+
+Produces a flat token stream: keywords (case-insensitive), identifiers,
+integer/float/string literals, operators, and punctuation.  Kept
+deliberately small — the grammar in :mod:`repro.sql.parser` documents
+exactly what the dialect supports.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import QueryError
+
+
+class SQLSyntaxError(QueryError):
+    """Lexical or grammatical error in a SQL statement."""
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    OP = "op"
+    PUNCT = "punct"
+    END = "end"
+
+
+#: Reserved words recognised as keywords (upper-cased canonical form).
+KEYWORDS = {
+    "AND", "AS", "ASC", "BETWEEN", "BY", "CREATE", "DELETE", "DESC",
+    "DISTINCT", "DROP", "EXPLAIN", "FROM", "GROUP", "INDEX", "INSERT", "INTO",
+    "JOIN", "KEY", "LIMIT", "NOT", "NULL", "ON", "OR", "ORDER", "PRIMARY",
+    "REFERENCES", "SELECT", "SET", "TABLE", "UNIQUE", "UPDATE", "USING",
+    "VALUES", "WHERE",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<space>\s+)
+  | (?P<float>\d+\.\d+)
+  | (?P<int>\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9.]*)
+  | (?P<op><=|>=|!=|<>|=|<|>)
+  | (?P<punct>[(),;*])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``; raises :class:`SQLSyntaxError` on junk."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SQLSyntaxError(
+                f"unexpected character {text[position]!r} at {position}"
+            )
+        kind = match.lastgroup
+        value = match.group()
+        if kind != "space":
+            if kind == "ident":
+                upper = value.upper()
+                if upper in KEYWORDS:
+                    tokens.append(Token(TokenType.KEYWORD, upper, position))
+                else:
+                    tokens.append(Token(TokenType.IDENT, value, position))
+            elif kind == "int":
+                tokens.append(Token(TokenType.INT, value, position))
+            elif kind == "float":
+                tokens.append(Token(TokenType.FLOAT, value, position))
+            elif kind == "string":
+                # Strip quotes, un-double embedded quotes.
+                body = value[1:-1].replace("''", "'")
+                tokens.append(Token(TokenType.STRING, body, position))
+            elif kind == "op":
+                canonical = "!=" if value == "<>" else value
+                tokens.append(Token(TokenType.OP, canonical, position))
+            else:
+                tokens.append(Token(TokenType.PUNCT, value, position))
+        position = match.end()
+    tokens.append(Token(TokenType.END, "", len(text)))
+    return tokens

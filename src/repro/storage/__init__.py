@@ -1,0 +1,39 @@
+"""Storage engine: partitions, tuples, relations, and temporary lists.
+
+This package implements the MM-DBMS storage architecture of Section 2 of
+the paper:
+
+* relations are broken into *partitions* (the unit of recovery, sized like
+  one or two disk tracks) — :mod:`repro.storage.partition`;
+* tuples never move once entered; variable-length fields live in the
+  partition's heap space and are referenced by pointers from the fixed-size
+  tuple slot — :mod:`repro.storage.tuples`;
+* relations may not be traversed directly; all access goes through an
+  index — :mod:`repro.storage.relation`;
+* foreign-key fields are materialised as tuple pointers, enabling
+  precomputed joins — :mod:`repro.storage.schema` declares them;
+* intermediate query results are *temporary lists* of tuple pointers plus a
+  result descriptor — :mod:`repro.storage.temporary`.
+"""
+
+from repro.storage.catalog import Catalog
+from repro.storage.partition import Partition, PartitionConfig
+from repro.storage.relation import Relation
+from repro.storage.schema import Field, FieldType, ForeignKey, Schema
+from repro.storage.temporary import ResultColumn, ResultDescriptor, TemporaryList
+from repro.storage.tuples import TupleRef
+
+__all__ = [
+    "Catalog",
+    "Field",
+    "FieldType",
+    "ForeignKey",
+    "Partition",
+    "PartitionConfig",
+    "Relation",
+    "ResultColumn",
+    "ResultDescriptor",
+    "Schema",
+    "TemporaryList",
+    "TupleRef",
+]

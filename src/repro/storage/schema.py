@@ -1,0 +1,177 @@
+"""Relation schemas: fields, types, and Date-style foreign keys.
+
+Section 2.1 of the paper: if foreign keys are identified "in the manner
+proposed by Date", the MM-DBMS substitutes a tuple-pointer field for the
+foreign-key field.  A :class:`ForeignKey` declaration on a :class:`Field`
+instructs :class:`repro.engine.database.MainMemoryDatabase` to perform that
+substitution on insert, which is what makes precomputed joins possible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+
+
+class FieldType(enum.Enum):
+    """Supported column types.
+
+    ``INT`` and ``FLOAT`` are fixed-size and stored inline in the tuple
+    slot.  ``STR`` is variable-length: the slot holds a pointer into the
+    partition's heap space (paper Section 2.1).  ``REF`` is a tuple pointer
+    — the materialised form of a foreign key.
+    """
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+    REF = "ref"
+
+    @property
+    def inline_bytes(self) -> int:
+        """Bytes occupied in the fixed-size tuple slot.
+
+        Uses the paper's era-appropriate sizes: 4-byte integers and
+        pointers, 8-byte floats.  A STR field occupies a 4-byte heap
+        pointer plus a 2-byte length in the slot.
+        """
+        if self is FieldType.INT:
+            return 4
+        if self is FieldType.FLOAT:
+            return 8
+        if self is FieldType.STR:
+            return 6
+        return 4  # REF: one tuple pointer
+
+    def validate(self, value: object) -> None:
+        """Raise :class:`SchemaError` if ``value`` does not fit this type."""
+        if value is None:
+            return  # NULLs are allowed in every column
+        if self is FieldType.INT and not isinstance(value, int):
+            raise SchemaError(f"expected int, got {type(value).__name__}")
+        if self is FieldType.FLOAT and not isinstance(value, (int, float)):
+            raise SchemaError(f"expected float, got {type(value).__name__}")
+        if self is FieldType.STR and not isinstance(value, str):
+            raise SchemaError(f"expected str, got {type(value).__name__}")
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """Declares that a field references the key of another relation.
+
+    ``relation`` names the referenced relation and ``field`` the referenced
+    (unique-indexed) field there.  When a tuple is inserted, the engine
+    looks the value up in the referenced relation and stores the resulting
+    tuple pointer instead of the value — Section 2.1's precomputed join.
+    """
+
+    relation: str
+    field: str
+
+
+@dataclass(frozen=True)
+class Field:
+    """One column of a relation schema."""
+
+    name: str
+    type: FieldType
+    references: Optional[ForeignKey] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("field name must be non-empty")
+        if self.references is not None and self.type is FieldType.REF:
+            raise SchemaError(
+                "declare foreign keys on the value type (e.g. INT); the "
+                "engine converts them to REF fields internally"
+            )
+
+
+class Schema:
+    """An ordered collection of :class:`Field` definitions.
+
+    The schema used by the storage layer is the *physical* schema: foreign
+    key fields declared by the user are converted to ``REF`` fields by
+    :meth:`physical`, and the logical declaration is retained so that
+    queries can still address the column by name and get the referenced
+    value back.
+    """
+
+    def __init__(self, fields: Sequence[Field]) -> None:
+        if not fields:
+            raise SchemaError("a schema needs at least one field")
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate field names in {names}")
+        self._fields: Tuple[Field, ...] = tuple(fields)
+        self._index_of: Dict[str, int] = {
+            f.name: i for i, f in enumerate(self._fields)
+        }
+
+    @property
+    def fields(self) -> Tuple[Field, ...]:
+        """The fields, in declaration order."""
+        return self._fields
+
+    @property
+    def names(self) -> List[str]:
+        """Field names in declaration order."""
+        return [f.name for f in self._fields]
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __iter__(self):
+        return iter(self._fields)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{f.name}:{f.type.value}" for f in self._fields)
+        return f"Schema({cols})"
+
+    def field(self, name: str) -> Field:
+        """Return the field named ``name`` or raise :class:`SchemaError`."""
+        try:
+            return self._fields[self._index_of[name]]
+        except KeyError:
+            raise SchemaError(
+                f"no field {name!r}; have {self.names}"
+            ) from None
+
+    def position(self, name: str) -> int:
+        """Return the slot position of field ``name``."""
+        self.field(name)  # raises on unknown names
+        return self._index_of[name]
+
+    def foreign_keys(self) -> List[Field]:
+        """All fields carrying a :class:`ForeignKey` declaration."""
+        return [f for f in self._fields if f.references is not None]
+
+    def physical(self) -> "Schema":
+        """The physical schema: FK fields become tuple-pointer fields."""
+        converted = [
+            Field(f.name, FieldType.REF) if f.references is not None else f
+            for f in self._fields
+        ]
+        return Schema(converted)
+
+    def fixed_slot_bytes(self) -> int:
+        """Bytes per tuple slot under the physical layout."""
+        return sum(f.type.inline_bytes for f in self.physical())
+
+    def validate_row(self, values: Sequence[object]) -> None:
+        """Type-check a row of raw (logical) values against the schema."""
+        if len(values) != len(self._fields):
+            raise SchemaError(
+                f"row has {len(values)} values, schema has "
+                f"{len(self._fields)} fields"
+            )
+        for field_def, value in zip(self._fields, values):
+            field_def.type.validate(value)

@@ -1,0 +1,52 @@
+"""Tuple pointers and heap pointers.
+
+In the paper's MM-DBMS, "tuples in a partition will be referred to directly
+by memory addresses, so tuples must not change locations once they have been
+entered into the database" (Section 2.1).  Python has no raw addresses, so
+the reproduction uses :class:`TupleRef` — a (partition id, slot) pair that
+dereferences in O(1) through the owning relation's partition table.  All the
+properties the paper relies on hold:
+
+* a ``TupleRef`` is small (one machine word each for partition and slot);
+* it is stable for the lifetime of the tuple (tuples never move; a rare
+  heap overflow leaves a forwarding address, see
+  :mod:`repro.storage.partition`);
+* indexes store ``TupleRef``\\ s instead of key values and extract the key
+  through the pointer on demand (Section 2.2);
+* equality and hashing are identity-like and cheap, which is what makes
+  pointer-based joins (Query 2 in the paper) faster than value joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class TupleRef:
+    """A stable pointer to a tuple slot: ``(partition_id, slot)``.
+
+    Ordering is defined (lexicographic on the pair) only so that pointer
+    lists can be sorted deterministically in tests; it carries no semantic
+    meaning.
+    """
+
+    partition_id: int
+    slot: int
+
+    def __repr__(self) -> str:
+        return f"TupleRef({self.partition_id}:{self.slot})"
+
+
+@dataclass(frozen=True)
+class HeapPtr:
+    """A pointer into a partition's heap space for a variable-length field.
+
+    The tuple slot stores this pointer; the bytes live in the heap
+    (Section 2.1: "the tuple itself will contain a pointer to the field in
+    the partition's heap space, so tuple growth will not cause tuples to
+    move").
+    """
+
+    offset: int
+    length: int

@@ -1,0 +1,20 @@
+"""Concurrency control (paper Section 2.4).
+
+"We expect to set locks at the partition level, a fairly coarse level of
+granularity, as tuple-level locking would be prohibitively expensive here
+(a lock table is basically a hashed relation, so the cost of locking a
+tuple would be comparable to the cost of accessing it — thus doubling the
+cost of tuple accesses)."
+"""
+
+from repro.txn.locks import LockManager, LockMode, LockResource
+from repro.txn.transaction import Transaction, TransactionManager, TxnState
+
+__all__ = [
+    "LockManager",
+    "LockMode",
+    "LockResource",
+    "Transaction",
+    "TransactionManager",
+    "TxnState",
+]

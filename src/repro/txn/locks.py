@@ -1,0 +1,268 @@
+"""Partition-granularity lock manager with deadlock detection.
+
+Locks are taken on ``(relation, partition_id)`` pairs — the paper's chosen
+granularity — plus a per-relation resource (``partition_id=None``) that
+guards partition creation and catalog changes.  "A lock table is basically
+a hashed relation": the manager is a dict keyed by resource, each entry a
+grant list plus a FIFO wait queue.
+
+Shared (S) and exclusive (X) modes with S→X upgrade are supported.  The
+manager is thread-safe; a request that must wait blocks on a condition
+variable, and a waits-for cycle check runs before blocking so deadlocks
+raise :class:`~repro.errors.DeadlockError` in the newcomer instead of
+hanging (the victim is the requester, the cheapest policy for the paper's
+"transactions will be much shorter" environment).
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import DeadlockError, LockTimeoutError, TransactionError
+
+
+class LockMode(enum.Enum):
+    """Lock modes; partitions are coarse, so two modes suffice."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+    def compatible(self, other: "LockMode") -> bool:
+        """S/S is the only compatible combination."""
+        return self is LockMode.SHARED and other is LockMode.SHARED
+
+
+#: A lockable resource: (relation name, partition id or None for the
+#: relation-level resource).
+LockResource = Tuple[str, Optional[int]]
+
+
+@dataclass
+class _Grant:
+    txn_id: int
+    mode: LockMode
+
+
+@dataclass
+class _Waiter:
+    txn_id: int
+    mode: LockMode
+    granted: bool = False
+    event: threading.Event = field(default_factory=threading.Event)
+
+
+class _LockEntry:
+    __slots__ = ("grants", "waiters")
+
+    def __init__(self) -> None:
+        self.grants: List[_Grant] = []
+        self.waiters: List[_Waiter] = []
+
+
+class LockManager:
+    """A strict two-phase-locking lock table."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._table: Dict[LockResource, _LockEntry] = {}
+        # holdings[txn_id][resource] = mode
+        self._holdings: Dict[int, Dict[LockResource, LockMode]] = {}
+
+    # ------------------------------------------------------------------ #
+    # acquisition
+    # ------------------------------------------------------------------ #
+
+    def acquire(
+        self,
+        txn_id: int,
+        resource: LockResource,
+        mode: LockMode,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Take (or upgrade to) ``mode`` on ``resource`` for ``txn_id``.
+
+        Raises :class:`DeadlockError` when waiting would close a cycle in
+        the waits-for graph, or :class:`LockTimeoutError` when ``timeout``
+        elapses.  Re-acquiring an already-held equal-or-stronger lock is a
+        no-op.
+        """
+        with self._mutex:
+            held = self._holdings.setdefault(txn_id, {})
+            current = held.get(resource)
+            if current is not None:
+                if current is LockMode.EXCLUSIVE or current is mode:
+                    return
+                # S -> X upgrade request.
+            entry = self._table.setdefault(resource, _LockEntry())
+            if self._grantable(entry, txn_id, mode):
+                self._grant(entry, txn_id, resource, mode)
+                return
+            blockers = self._blockers(entry, txn_id, mode)
+            if self._would_deadlock(txn_id, blockers):
+                raise DeadlockError(
+                    f"txn {txn_id} waiting on {resource} would deadlock "
+                    f"with {sorted(blockers)}"
+                )
+            waiter = _Waiter(txn_id, mode)
+            entry.waiters.append(waiter)
+        if not waiter.event.wait(timeout):
+            with self._mutex:
+                if waiter in entry.waiters:
+                    entry.waiters.remove(waiter)
+                if not waiter.granted:
+                    raise LockTimeoutError(
+                        f"txn {txn_id} timed out waiting for {resource}"
+                    )
+        with self._mutex:
+            if not waiter.granted:  # spurious wake after removal
+                raise LockTimeoutError(
+                    f"txn {txn_id} timed out waiting for {resource}"
+                )
+
+    def _grantable(
+        self, entry: _LockEntry, txn_id: int, mode: LockMode
+    ) -> bool:
+        others = [g for g in entry.grants if g.txn_id != txn_id]
+        if mode is LockMode.SHARED:
+            incompatible = any(
+                g.mode is LockMode.EXCLUSIVE for g in others
+            )
+            # Fairness: do not overtake queued exclusive waiters.
+            waiting_x = any(
+                w.mode is LockMode.EXCLUSIVE and w.txn_id != txn_id
+                for w in entry.waiters
+            )
+            return not incompatible and not waiting_x
+        return not others
+
+    def _grant(
+        self,
+        entry: _LockEntry,
+        txn_id: int,
+        resource: LockResource,
+        mode: LockMode,
+    ) -> None:
+        for grant in entry.grants:
+            if grant.txn_id == txn_id:
+                grant.mode = mode if mode is LockMode.EXCLUSIVE else grant.mode
+                break
+        else:
+            entry.grants.append(_Grant(txn_id, mode))
+        self._holdings.setdefault(txn_id, {})[resource] = (
+            LockMode.EXCLUSIVE
+            if mode is LockMode.EXCLUSIVE
+            else self._holdings[txn_id].get(resource, LockMode.SHARED)
+        )
+
+    def _blockers(
+        self, entry: _LockEntry, txn_id: int, mode: LockMode
+    ) -> Set[int]:
+        blockers = {
+            g.txn_id
+            for g in entry.grants
+            if g.txn_id != txn_id and not mode.compatible(g.mode)
+        }
+        if mode is LockMode.SHARED:
+            blockers |= {
+                w.txn_id
+                for w in entry.waiters
+                if w.mode is LockMode.EXCLUSIVE and w.txn_id != txn_id
+            }
+        return blockers
+
+    # ------------------------------------------------------------------ #
+    # deadlock detection (waits-for cycle search)
+    # ------------------------------------------------------------------ #
+
+    def _waits_for(self) -> Dict[int, Set[int]]:
+        graph: Dict[int, Set[int]] = {}
+        for entry in self._table.values():
+            for waiter in entry.waiters:
+                graph.setdefault(waiter.txn_id, set()).update(
+                    self._blockers(entry, waiter.txn_id, waiter.mode)
+                )
+        return graph
+
+    def _would_deadlock(self, txn_id: int, blockers: Set[int]) -> bool:
+        graph = self._waits_for()
+        graph.setdefault(txn_id, set()).update(blockers)
+        # DFS from txn_id looking for a path back to txn_id.
+        stack = list(graph.get(txn_id, ()))
+        visited: Set[int] = set()
+        while stack:
+            node = stack.pop()
+            if node == txn_id:
+                return True
+            if node in visited:
+                continue
+            visited.add(node)
+            stack.extend(graph.get(node, ()))
+        return False
+
+    # ------------------------------------------------------------------ #
+    # release
+    # ------------------------------------------------------------------ #
+
+    def release_all(self, txn_id: int) -> None:
+        """Release every lock held by ``txn_id`` (end of 2PL)."""
+        with self._mutex:
+            held = self._holdings.pop(txn_id, {})
+            for resource in held:
+                entry = self._table.get(resource)
+                if entry is None:
+                    continue
+                entry.grants = [
+                    g for g in entry.grants if g.txn_id != txn_id
+                ]
+                self._wake_waiters(entry, resource)
+                if not entry.grants and not entry.waiters:
+                    del self._table[resource]
+
+    def _wake_waiters(self, entry: _LockEntry, resource: LockResource) -> None:
+        """Grant as many queued waiters as compatibility allows (FIFO)."""
+        progressed = True
+        while progressed and entry.waiters:
+            progressed = False
+            waiter = entry.waiters[0]
+            if self._grantable_ignoring_queue(entry, waiter):
+                entry.waiters.pop(0)
+                self._grant(entry, waiter.txn_id, resource, waiter.mode)
+                waiter.granted = True
+                waiter.event.set()
+                progressed = True
+
+    def _grantable_ignoring_queue(
+        self, entry: _LockEntry, waiter: _Waiter
+    ) -> bool:
+        others = [g for g in entry.grants if g.txn_id != waiter.txn_id]
+        if waiter.mode is LockMode.SHARED:
+            return all(g.mode is LockMode.SHARED for g in others)
+        return not others
+
+    # ------------------------------------------------------------------ #
+    # introspection (tests / monitoring)
+    # ------------------------------------------------------------------ #
+
+    def holdings(self, txn_id: int) -> Dict[LockResource, LockMode]:
+        """The locks currently held by ``txn_id`` (a copy)."""
+        with self._mutex:
+            return dict(self._holdings.get(txn_id, {}))
+
+    def holders(self, resource: LockResource) -> List[Tuple[int, LockMode]]:
+        """Current grant list for ``resource``."""
+        with self._mutex:
+            entry = self._table.get(resource)
+            if entry is None:
+                return []
+            return [(g.txn_id, g.mode) for g in entry.grants]
+
+    def waiting(self, resource: LockResource) -> List[int]:
+        """Transaction ids queued on ``resource``."""
+        with self._mutex:
+            entry = self._table.get(resource)
+            if entry is None:
+                return []
+            return [w.txn_id for w in entry.waiters]

@@ -1,0 +1,194 @@
+"""Transactions: strict 2PL with deferred updates (paper Section 2.4).
+
+The paper adopts the IMS FASTPATH discipline: "The MM-DBMS writes all log
+information directly into a stable log buffer before the actual update is
+done to the database ...  If the transaction aborts, then the log entry is
+removed and no undo is needed.  If the transaction commits, then the
+updates are propagated to the database."
+
+A :class:`Transaction` therefore buffers *intentions* (closures that
+perform the actual relation updates).  Nothing touches the database until
+commit; abort simply discards the intentions and the buffered log records
+— no undo.  Reads inside a transaction see the pre-transaction state (the
+deferred-update model's documented semantics).
+
+Locks follow strict two-phase locking at partition granularity and are
+released only at commit/abort.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Any, Callable, List, Optional
+
+from repro.errors import TransactionAborted, TransactionError
+from repro.txn.locks import LockManager, LockMode, LockResource
+
+
+class TxnState(enum.Enum):
+    """Transaction lifecycle states."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One unit of work: locks + deferred update intentions."""
+
+    def __init__(self, txn_id: int, manager: "TransactionManager") -> None:
+        self.id = txn_id
+        self._manager = manager
+        self.state = TxnState.ACTIVE
+        self._intentions: List[Callable[[], None]] = []
+        # Engine hooks: invoked after the intentions are applied (commit)
+        # or discarded (abort), while locks are still held.  The durable
+        # engine uses them to seal / drop this transaction's log records.
+        self.on_commit: Optional[Callable[["Transaction"], None]] = None
+        self.on_abort: Optional[Callable[["Transaction"], None]] = None
+
+    # ------------------------------------------------------------------ #
+    # state guards
+    # ------------------------------------------------------------------ #
+
+    def _require_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionAborted(
+                f"txn {self.id} is {self.state.value}, not active"
+            )
+
+    @property
+    def active(self) -> bool:
+        """Whether the transaction can still do work."""
+        return self.state is TxnState.ACTIVE
+
+    # ------------------------------------------------------------------ #
+    # locking
+    # ------------------------------------------------------------------ #
+
+    def lock(self, resource: LockResource, mode: LockMode) -> None:
+        """Acquire a partition or relation lock (2PL growing phase)."""
+        self._require_active()
+        try:
+            self._manager.lock_manager.acquire(self.id, resource, mode)
+        except TransactionError:
+            # Deadlock victims must abort; make that state visible.
+            self.state = TxnState.ABORTED
+            if self.on_abort is not None:
+                self.on_abort(self)
+            self._manager.lock_manager.release_all(self.id)
+            self._manager._finish(self)
+            raise
+
+    def lock_shared(self, relation: str, partition_id: Optional[int]) -> None:
+        """Shared lock on one partition (or the relation resource)."""
+        self.lock((relation, partition_id), LockMode.SHARED)
+
+    def lock_exclusive(self, relation: str, partition_id: Optional[int]) -> None:
+        """Exclusive lock on one partition (or the relation resource)."""
+        self.lock((relation, partition_id), LockMode.EXCLUSIVE)
+
+    # ------------------------------------------------------------------ #
+    # deferred updates
+    # ------------------------------------------------------------------ #
+
+    def add_intention(self, apply: Callable[[], None]) -> None:
+        """Queue a deferred update to run at commit."""
+        self._require_active()
+        self._intentions.append(apply)
+
+    @property
+    def intention_count(self) -> int:
+        """Number of queued deferred updates."""
+        return len(self._intentions)
+
+    # ------------------------------------------------------------------ #
+    # outcome
+    # ------------------------------------------------------------------ #
+
+    def commit(self) -> None:
+        """Apply the intentions and release locks.
+
+        The engine's change listener turns each applied intention into
+        log records in the stable log buffer; the commit record follows
+        the last update record, after which the log device may propagate.
+        """
+        self._require_active()
+        undos: List[Callable[[], None]] = []
+        try:
+            for apply in self._intentions:
+                undo = apply()
+                if callable(undo):
+                    undos.append(undo)
+        except Exception:
+            # A failed intention aborts the transaction.  Intentions that
+            # already applied are compensated in reverse order, then the
+            # abort hook drops every buffered log record (including the
+            # compensations), leaving both memory and durable state at
+            # the pre-transaction point.
+            for undo in reversed(undos):
+                undo()
+            self.state = TxnState.ABORTED
+            if self.on_abort is not None:
+                self.on_abort(self)
+            self._manager.lock_manager.release_all(self.id)
+            self._manager._finish(self)
+            raise
+        self.state = TxnState.COMMITTED
+        if self.on_commit is not None:
+            self.on_commit(self)
+        self._manager.lock_manager.release_all(self.id)
+        self._manager._finish(self)
+
+    def abort(self) -> None:
+        """Discard the intentions; "no undo is needed"."""
+        self._require_active()
+        self._intentions.clear()
+        self.state = TxnState.ABORTED
+        if self.on_abort is not None:
+            self.on_abort(self)
+        self._manager.lock_manager.release_all(self.id)
+        self._manager._finish(self)
+
+    # Context-manager sugar: commit on clean exit, abort on exception.
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.state is TxnState.ACTIVE:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+        return False
+
+
+class TransactionManager:
+    """Hands out transaction ids and tracks the active set."""
+
+    def __init__(self, lock_manager: LockManager = None) -> None:
+        self.lock_manager = (
+            lock_manager if lock_manager is not None else LockManager()
+        )
+        self._mutex = threading.Lock()
+        self._next_id = 1
+        self._active: dict = {}
+
+    def begin(self) -> Transaction:
+        """Start a new transaction."""
+        with self._mutex:
+            txn = Transaction(self._next_id, self)
+            self._next_id += 1
+            self._active[txn.id] = txn
+            return txn
+
+    def _finish(self, txn: Transaction) -> None:
+        with self._mutex:
+            self._active.pop(txn.id, None)
+
+    @property
+    def active_count(self) -> int:
+        """Number of in-flight transactions."""
+        with self._mutex:
+            return len(self._active)

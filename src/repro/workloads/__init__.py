@@ -1,0 +1,39 @@
+"""Workload generation (paper Section 3.3.1).
+
+Test relations vary three parameters: cardinality |R|, the duplicate
+percentage of the join column (with a skew knob — the truncated-normal
+distributions of Graph 3), and the semijoin selectivity (how much of one
+relation's value pool is drawn from the other's).
+"""
+
+from repro.workloads.distributions import (
+    DuplicateDistribution,
+    NEAR_UNIFORM_SIGMA,
+    MODERATE_SIGMA,
+    SKEWED_SIGMA,
+    cumulative_tuple_share,
+    duplicate_counts,
+)
+from repro.workloads.generator import (
+    JoinPair,
+    RelationSpec,
+    build_join_pair,
+    build_values,
+    query_mix_operations,
+    unique_keys,
+)
+
+__all__ = [
+    "DuplicateDistribution",
+    "JoinPair",
+    "MODERATE_SIGMA",
+    "NEAR_UNIFORM_SIGMA",
+    "RelationSpec",
+    "SKEWED_SIGMA",
+    "build_join_pair",
+    "build_values",
+    "cumulative_tuple_share",
+    "duplicate_counts",
+    "query_mix_operations",
+    "unique_keys",
+]

@@ -1,0 +1,137 @@
+"""Truncated-normal duplicate distributions (paper Graph 3).
+
+"To get a variable number of duplicates, a specified number of unique
+values were generated ... and then the number of occurrences of each of
+these values was determined using a random sampling procedure based on a
+truncated normal distribution with a variable standard deviation"
+(Section 3.3.1).
+
+The sampler: each tuple draws ``x = |N(0, sigma)|`` rejected at 1.0, and is
+assigned to the unique value with rank ``floor(x * U)``.  With sigma = 0.1
+roughly the first tenth of the values receives about two thirds of the
+tuples (the paper's skewed curve); sigma = 0.8 is near-uniform.  Every
+unique value is guaranteed at least one occurrence so that the duplicate
+percentage is met exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence, Tuple
+
+#: The paper's three standard deviations (Graph 3).
+SKEWED_SIGMA = 0.1
+MODERATE_SIGMA = 0.4
+NEAR_UNIFORM_SIGMA = 0.8
+
+
+class DuplicateDistribution:
+    """How the occurrences of duplicate values are spread.
+
+    ``sigma=None`` selects the exactly-uniform distribution (each unique
+    value occurs the same number of times, ±1), used by the paper's
+    "uniform" join tests; a float selects the truncated normal with that
+    standard deviation.
+    """
+
+    def __init__(self, sigma: Optional[float] = None) -> None:
+        if sigma is not None and sigma <= 0:
+            raise ValueError("sigma must be positive (or None for uniform)")
+        self.sigma = sigma
+
+    @property
+    def label(self) -> str:
+        """Human-readable name for benchmark reports."""
+        if self.sigma is None:
+            return "uniform"
+        if self.sigma <= SKEWED_SIGMA:
+            return "skewed"
+        if self.sigma >= NEAR_UNIFORM_SIGMA:
+            return "near-uniform"
+        return f"sigma={self.sigma}"
+
+    def counts(
+        self, unique_count: int, total: int, rng: random.Random
+    ) -> List[int]:
+        """Occurrences per unique value; length ``unique_count``, summing
+        to ``total``; every entry >= 1."""
+        return duplicate_counts(unique_count, total, self.sigma, rng)
+
+
+UNIFORM = DuplicateDistribution(None)
+SKEWED = DuplicateDistribution(SKEWED_SIGMA)
+MODERATE = DuplicateDistribution(MODERATE_SIGMA)
+NEAR_UNIFORM = DuplicateDistribution(NEAR_UNIFORM_SIGMA)
+
+
+def _truncated_half_normal(sigma: float, rng: random.Random) -> float:
+    """One draw from |N(0, sigma)| truncated (by rejection) to [0, 1)."""
+    while True:
+        x = abs(rng.gauss(0.0, sigma))
+        if x < 1.0:
+            return x
+
+
+def duplicate_counts(
+    unique_count: int,
+    total: int,
+    sigma: Optional[float],
+    rng: random.Random,
+) -> List[int]:
+    """Occurrence counts for ``unique_count`` values over ``total`` tuples.
+
+    Raises ``ValueError`` when the request is inconsistent (more unique
+    values than tuples, or nothing to generate).
+    """
+    if unique_count < 1:
+        raise ValueError("need at least one unique value")
+    if total < unique_count:
+        raise ValueError(
+            f"total ({total}) must be >= unique_count ({unique_count})"
+        )
+    counts = [1] * unique_count  # every value occurs at least once
+    remaining = total - unique_count
+    if remaining == 0:
+        return counts
+    if sigma is None:
+        # Exactly uniform: spread the remainder evenly, ±1.
+        base, leftovers = divmod(remaining, unique_count)
+        for i in range(unique_count):
+            counts[i] += base + (1 if i < leftovers else 0)
+        return counts
+    for __ in range(remaining):
+        x = _truncated_half_normal(sigma, rng)
+        counts[int(x * unique_count)] += 1
+    return counts
+
+
+def cumulative_tuple_share(counts: Sequence[int]) -> List[Tuple[float, float]]:
+    """The Graph 3 curve: (percent of values, percent of tuples).
+
+    Values are ranked by descending occurrence count, mirroring the
+    paper's presentation where the most duplicated values come first.
+    """
+    total = sum(counts)
+    if total == 0:
+        return []
+    ordered = sorted(counts, reverse=True)
+    points: List[Tuple[float, float]] = []
+    running = 0
+    for i, c in enumerate(ordered, start=1):
+        running += c
+        points.append((100.0 * i / len(ordered), 100.0 * running / total))
+    return points
+
+
+def expected_tuple_share(sigma: float, value_fraction: float) -> float:
+    """Analytic Graph 3 curve: fraction of tuples held by the top
+    ``value_fraction`` of values under the truncated half-normal.
+
+    ``F(x) = erf(x / (sigma * sqrt(2))) / erf(1 / (sigma * sqrt(2)))`` —
+    used by tests to check the sampler converges to the right shape.
+    """
+    if not 0.0 <= value_fraction <= 1.0:
+        raise ValueError("value_fraction must be within [0, 1]")
+    scale = sigma * math.sqrt(2.0)
+    return math.erf(value_fraction / scale) / math.erf(1.0 / scale)

@@ -1,0 +1,202 @@
+"""Join-test relation generation and index query mixes (Section 3.3.1).
+
+The join tests vary (1) relation cardinality, (2) duplicate percentage and
+its distribution, and (3) semijoin selectivity.  "In order to get a
+variable semijoin selectivity, the smaller relation was built with a
+specified number of values from the larger relation."
+
+The duplicate percentage ``d`` fixes the number of unique join values at
+``U = max(1, round(|R| * (1 - d/100)))`` so that ``|R| - U`` tuples are
+duplicates — d of 0 gives a key column, d of 100 gives a single value.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.workloads.distributions import DuplicateDistribution
+
+
+@dataclass(frozen=True)
+class RelationSpec:
+    """Parameters for one generated join column.
+
+    ``dup_percent`` — percentage of tuples that are duplicates of some
+    other tuple's value.  ``distribution`` — how the duplicates spread
+    over the unique values.
+    """
+
+    cardinality: int
+    dup_percent: float = 0.0
+    distribution: DuplicateDistribution = field(
+        default_factory=lambda: DuplicateDistribution(None)
+    )
+
+    def unique_values(self) -> int:
+        """Number of distinct join values implied by the duplicate %."""
+        if not 0.0 <= self.dup_percent <= 100.0:
+            raise ValueError("dup_percent must be within [0, 100]")
+        return max(1, round(self.cardinality * (1.0 - self.dup_percent / 100.0)))
+
+
+@dataclass
+class JoinPair:
+    """A generated pair of join columns plus their ground truth."""
+
+    outer: List[int]
+    inner: List[int]
+    matching_values: frozenset
+
+    def expected_result_size(self) -> int:
+        """|R1 ⋈ R2| — computed exactly from value frequencies."""
+        from collections import Counter
+
+        outer_freq = Counter(self.outer)
+        inner_freq = Counter(self.inner)
+        return sum(
+            outer_freq[v] * inner_freq[v]
+            for v in outer_freq.keys() & inner_freq.keys()
+        )
+
+
+def unique_keys(n: int, rng: random.Random, key_space: int = None) -> List[int]:
+    """``n`` distinct integer keys in random order (the index-test feed).
+
+    The paper's index tests fill each structure with 30,000 unique
+    elements; ``key_space`` (default 100x n) bounds the value range.
+    """
+    space = key_space if key_space is not None else max(n * 100, 1000)
+    if space < n:
+        raise ValueError("key_space smaller than requested key count")
+    return rng.sample(range(space), n)
+
+
+def build_values(spec: RelationSpec, pool: Sequence[int], rng: random.Random) -> List[int]:
+    """Expand a value pool into a join column following ``spec``.
+
+    ``pool`` supplies the unique values (its length must equal
+    ``spec.unique_values()``); occurrence counts come from the spec's
+    distribution; the result is shuffled so that value order carries no
+    information.
+    """
+    unique = spec.unique_values()
+    if len(pool) != unique:
+        raise ValueError(
+            f"pool has {len(pool)} values, spec implies {unique}"
+        )
+    counts = spec.distribution.counts(unique, spec.cardinality, rng)
+    column: List[int] = []
+    for value, count in zip(pool, counts):
+        column.extend([value] * count)
+    rng.shuffle(column)
+    return column
+
+
+def build_join_pair(
+    outer_spec: RelationSpec,
+    inner_spec: RelationSpec,
+    semijoin_selectivity: float,
+    rng: random.Random,
+    key_space: int = None,
+) -> JoinPair:
+    """Generate the two join columns for one join experiment.
+
+    ``semijoin_selectivity`` (0-100) is the percentage of the inner
+    relation's unique values drawn from the outer relation's values —
+    "the smaller relation was built with a specified number of values
+    from the larger relation".  At 100 every inner tuple has a join
+    partner; at 0 the join is empty.
+
+    Reproducing the paper's skewed-test artefact: when the outer column is
+    skewed, inner values are sampled from the outer's *tuples* (not its
+    distinct values), so heavily duplicated outer values are more likely
+    to be picked — "the values for R2 were chosen from R1, which already
+    contained a non-uniform distribution of duplicates".
+    """
+    if not 0.0 <= semijoin_selectivity <= 100.0:
+        raise ValueError("semijoin_selectivity must be within [0, 100]")
+    outer_unique = outer_spec.unique_values()
+    space = key_space if key_space is not None else max(
+        (outer_spec.cardinality + inner_spec.cardinality) * 100, 1000
+    )
+    outer_pool = rng.sample(range(space), outer_unique)
+    outer_column = build_values(outer_spec, outer_pool, rng)
+
+    inner_unique = inner_spec.unique_values()
+    matching = round(inner_unique * semijoin_selectivity / 100.0)
+    matching = min(matching, outer_unique)
+    # Sample matching values from the outer tuples (carries skew through),
+    # de-duplicated until we have the required number of distinct values.
+    chosen: List[int] = []
+    seen = set()
+    while len(chosen) < matching:
+        value = outer_column[rng.randrange(len(outer_column))]
+        if value not in seen:
+            seen.add(value)
+            chosen.append(value)
+    # The non-matching remainder comes from outside the outer pool.
+    outer_set = set(outer_pool)
+    fresh: List[int] = []
+    while len(fresh) < inner_unique - matching:
+        value = rng.randrange(space, space * 2)
+        if value not in outer_set and value not in seen:
+            seen.add(value)
+            fresh.append(value)
+    # Keep the pool in sampling order: values drawn from the outer's
+    # tuples come out roughly in descending outer frequency, and the
+    # distribution's occurrence counts are likewise heaviest-first, so a
+    # skewed outer's heavy hitters stay heavy in the inner column.  That
+    # correlation is the paper's Test 4 artefact ("the number of
+    # duplicates in R2 is greater than that of R1") and what makes the
+    # high-duplicate join output explode.
+    inner_pool = chosen + fresh
+    inner_column = build_values(inner_spec, inner_pool, rng)
+    return JoinPair(
+        outer=outer_column,
+        inner=inner_column,
+        matching_values=frozenset(chosen),
+    )
+
+
+def query_mix_operations(
+    keys: Sequence[int],
+    operations: int,
+    search_pct: int,
+    insert_pct: int,
+    delete_pct: int,
+    rng: random.Random,
+    key_space: int = None,
+) -> Iterator[Tuple[str, int]]:
+    """An interleaved search/insert/delete stream (the Graph 2 workload).
+
+    Yields ``(op, key)`` pairs.  Inserts draw fresh keys; deletes remove
+    keys known to be present; searches probe present keys — keeping the
+    index size roughly constant, as in the paper's query-mix tests (equal
+    insert and delete percentages).
+    """
+    if search_pct + insert_pct + delete_pct != 100:
+        raise ValueError("percentages must sum to 100")
+    space = key_space if key_space is not None else max(len(keys) * 100, 1000)
+    present = list(keys)
+    present_set = set(present)
+    for __ in range(operations):
+        roll = rng.randrange(100)
+        if roll < search_pct and present:
+            yield "search", present[rng.randrange(len(present))]
+        elif roll < search_pct + insert_pct or not present:
+            while True:
+                key = rng.randrange(space)
+                if key not in present_set:
+                    break
+            present.append(key)
+            present_set.add(key)
+            yield "insert", key
+        else:
+            pos = rng.randrange(len(present))
+            key = present[pos]
+            present[pos] = present[-1]
+            present.pop()
+            present_set.discard(key)
+            yield "delete", key

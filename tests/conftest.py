@@ -1,0 +1,73 @@
+"""Shared fixtures: the paper's Figure 1 database and generator RNGs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Field, FieldType, ForeignKey, MainMemoryDatabase
+
+#: Figure 1's Department relation: (Name, Id).
+DEPARTMENTS = [
+    ("Toy", 459),
+    ("Shoe", 409),
+    ("Linen", 411),
+    ("Paint", 455),
+]
+
+#: Figure 1's Employee relation: (Name, Id, Age, Dept_Id).
+EMPLOYEES = [
+    ("Dave", 23, 24, 459),
+    ("Suzan", 12, 27, 459),
+    ("Yaman", 44, 54, 411),
+    ("Jane", 43, 47, 411),
+    ("Cindy", 22, 22, 409),
+]
+
+
+def build_figure1_db(durable: bool = False) -> MainMemoryDatabase:
+    """The Employee/Department database of the paper's Figure 1."""
+    db = MainMemoryDatabase(durable=durable)
+    db.create_relation(
+        "Department",
+        [Field("Name", FieldType.STR), Field("Id", FieldType.INT)],
+        primary_key="Id",
+    )
+    db.create_relation(
+        "Employee",
+        [
+            Field("Name", FieldType.STR),
+            Field("Id", FieldType.INT),
+            Field("Age", FieldType.INT),
+            Field(
+                "Dept_Id",
+                FieldType.INT,
+                references=ForeignKey("Department", "Id"),
+            ),
+        ],
+        primary_key="Id",
+    )
+    for name, dept_id in DEPARTMENTS:
+        db.insert("Department", [name, dept_id])
+    for name, emp_id, age, dept_id in EMPLOYEES:
+        db.insert("Employee", [name, emp_id, age, dept_id])
+    return db
+
+
+@pytest.fixture
+def figure1_db() -> MainMemoryDatabase:
+    """A volatile Figure 1 database."""
+    return build_figure1_db(durable=False)
+
+
+@pytest.fixture
+def durable_db() -> MainMemoryDatabase:
+    """A durable Figure 1 database with recovery machinery attached."""
+    return build_figure1_db(durable=True)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for workload generation."""
+    return random.Random(0xC0FFEE)

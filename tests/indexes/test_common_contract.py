@@ -1,0 +1,279 @@
+"""The common Index contract, parametrized over all eight structures.
+
+Every structure from the paper's study must satisfy the same core
+behaviours the index tests of Section 3.2.2 exercised: create, search,
+scan, query mixes, and deletion — in both unique and duplicate modes.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import DuplicateKeyError, KeyNotFoundError
+from repro.indexes import HASH_KINDS, INDEX_KINDS, ORDERED_KINDS
+
+ALL_KINDS = sorted(INDEX_KINDS)
+
+
+def make_index(kind, **kwargs):
+    return INDEX_KINDS[kind](**kwargs)
+
+
+@pytest.fixture(params=ALL_KINDS)
+def kind(request):
+    return request.param
+
+
+@pytest.fixture
+def keys():
+    rng = random.Random(42)
+    return rng.sample(range(100000), 800)
+
+
+class TestBasicContract:
+    def test_empty_index(self, kind):
+        idx = make_index(kind)
+        assert len(idx) == 0
+        assert idx.search(1) is None
+        assert idx.search_all(1) == []
+        assert list(idx.scan()) == []
+        assert 1 not in idx
+
+    def test_insert_then_search(self, kind, keys):
+        idx = make_index(kind)
+        for k in keys:
+            idx.insert(k)
+        assert len(idx) == len(keys)
+        for k in keys[::37]:
+            assert idx.search(k) == k
+            assert k in idx
+
+    def test_search_missing_returns_none(self, kind, keys):
+        idx = make_index(kind)
+        for k in keys:
+            idx.insert(k)
+        assert idx.search(-1) is None
+        assert idx.search(10**9) is None
+
+    def test_scan_yields_everything(self, kind, keys):
+        idx = make_index(kind)
+        for k in keys:
+            idx.insert(k)
+        scanned = list(idx.scan())
+        assert sorted(scanned) == sorted(keys)
+
+    def test_iteration_protocol(self, kind, keys):
+        idx = make_index(kind)
+        for k in keys[:10]:
+            idx.insert(k)
+        assert sorted(idx) == sorted(keys[:10])
+
+    def test_delete_removes_key(self, kind, keys):
+        idx = make_index(kind)
+        for k in keys:
+            idx.insert(k)
+        for k in keys[:100]:
+            idx.delete(k)
+        assert len(idx) == len(keys) - 100
+        for k in keys[:100]:
+            assert idx.search(k) is None
+        for k in keys[100:150]:
+            assert idx.search(k) == k
+
+    def test_delete_missing_raises(self, kind):
+        idx = make_index(kind)
+        idx.insert(5)
+        with pytest.raises(KeyNotFoundError):
+            idx.delete(99)
+
+    def test_delete_from_empty_raises(self, kind):
+        with pytest.raises(KeyNotFoundError):
+            make_index(kind).delete(1)
+
+    def test_delete_everything_then_reuse(self, kind, keys):
+        idx = make_index(kind)
+        subset = keys[:200]
+        for k in subset:
+            idx.insert(k)
+        for k in subset:
+            idx.delete(k)
+        assert len(idx) == 0
+        assert list(idx.scan()) == []
+        idx.insert(1)
+        assert idx.search(1) == 1
+
+
+class TestUniqueMode:
+    def test_duplicate_insert_rejected(self, kind):
+        idx = make_index(kind, unique=True)
+        idx.insert(7)
+        with pytest.raises(DuplicateKeyError):
+            idx.insert(7)
+        assert len(idx) == 1
+
+    def test_reinsert_after_delete_allowed(self, kind):
+        idx = make_index(kind, unique=True)
+        idx.insert(7)
+        idx.delete(7)
+        idx.insert(7)
+        assert idx.search(7) == 7
+
+
+class TestDuplicateMode:
+    """Non-unique indexes store tuple pointers sharing a key value."""
+
+    def _fill(self, kind, per_key=4, key_count=50):
+        idx = make_index(kind, key_of=lambda item: item[0], unique=False)
+        items = [
+            (key, seq) for key in range(key_count) for seq in range(per_key)
+        ]
+        rng = random.Random(9)
+        rng.shuffle(items)
+        for item in items:
+            idx.insert(item)
+        return idx, items
+
+    def test_search_all_returns_every_duplicate(self, kind):
+        idx, items = self._fill(kind)
+        for key in (0, 17, 49):
+            expected = sorted(i for i in items if i[0] == key)
+            assert sorted(idx.search_all(key)) == expected
+
+    def test_search_all_missing_key_empty(self, kind):
+        idx, __ = self._fill(kind)
+        assert idx.search_all(999) == []
+
+    def test_delete_specific_item_not_just_key(self, kind):
+        idx, items = self._fill(kind)
+        idx.delete((17, 2))
+        remaining = sorted(idx.search_all(17))
+        assert (17, 2) not in remaining
+        assert len(remaining) == 3
+
+    def test_scan_contains_all_duplicates(self, kind):
+        idx, items = self._fill(kind)
+        assert sorted(idx.scan()) == sorted(items)
+
+    def test_ordered_scan_keeps_equal_keys_contiguous(self, kind):
+        if kind not in ORDERED_KINDS:
+            pytest.skip("hash indexes scan in arbitrary order")
+        idx, __ = self._fill(kind)
+        keys = [item[0] for item in idx.scan()]
+        assert keys == sorted(keys)
+
+
+class TestOrderedContract:
+    @pytest.fixture(params=list(ORDERED_KINDS))
+    def okind(self, request):
+        return request.param
+
+    def test_scan_is_sorted(self, okind, keys):
+        idx = make_index(okind)
+        for k in keys:
+            idx.insert(k)
+        assert list(idx.scan()) == sorted(keys)
+
+    def test_scan_from_midpoint(self, okind, keys):
+        idx = make_index(okind)
+        for k in keys:
+            idx.insert(k)
+        pivot = sorted(keys)[len(keys) // 2]
+        assert list(idx.scan_from(pivot)) == [
+            k for k in sorted(keys) if k >= pivot
+        ]
+
+    def test_scan_from_nonexistent_key(self, okind, keys):
+        idx = make_index(okind)
+        for k in keys:
+            idx.insert(k)
+        pivot = sorted(keys)[len(keys) // 2] + 1  # very likely absent
+        assert list(idx.scan_from(pivot)) == [
+            k for k in sorted(keys) if k >= pivot
+        ]
+
+    def test_range_scan_inclusive(self, okind, keys):
+        idx = make_index(okind)
+        for k in keys:
+            idx.insert(k)
+        lo, hi = sorted(keys)[100], sorted(keys)[300]
+        expected = [k for k in sorted(keys) if lo <= k <= hi]
+        assert list(idx.range_scan(lo, hi)) == expected
+
+    def test_range_scan_exclusive_bounds(self, okind, keys):
+        idx = make_index(okind)
+        for k in keys:
+            idx.insert(k)
+        lo, hi = sorted(keys)[100], sorted(keys)[300]
+        expected = [k for k in sorted(keys) if lo < k < hi]
+        got = list(
+            idx.range_scan(lo, hi, include_low=False, include_high=False)
+        )
+        assert got == expected
+
+    def test_range_scan_unbounded_sides(self, okind, keys):
+        idx = make_index(okind)
+        for k in keys:
+            idx.insert(k)
+        mid = sorted(keys)[400]
+        assert list(idx.range_scan(None, mid)) == [
+            k for k in sorted(keys) if k <= mid
+        ]
+        assert list(idx.range_scan(mid, None)) == [
+            k for k in sorted(keys) if k >= mid
+        ]
+
+    def test_min_and_max(self, okind, keys):
+        idx = make_index(okind)
+        for k in keys:
+            idx.insert(k)
+        assert idx.min_item() == min(keys)
+        assert idx.max_item() == max(keys)
+
+    def test_min_max_empty(self, okind):
+        idx = make_index(okind)
+        assert idx.min_item() is None
+        assert idx.max_item() is None
+
+
+class TestStorageAccounting:
+    def test_storage_bytes_positive_when_filled(self, kind, keys):
+        idx = make_index(kind)
+        for k in keys:
+            idx.insert(k)
+        assert idx.storage_bytes() > 0
+
+    def test_storage_factor_at_least_one(self, kind, keys):
+        idx = make_index(kind)
+        for k in keys:
+            idx.insert(k)
+        # Nothing can use less than the array's pointer-per-item minimum.
+        assert idx.storage_factor() >= 1.0
+
+    def test_empty_factor_is_zero(self, kind):
+        assert make_index(kind).storage_factor() == 0.0
+
+
+class TestMixedWorkload:
+    """The Graph 2 style query mix keeps every structure consistent."""
+
+    def test_query_mix_consistency(self, kind):
+        rng = random.Random(kind)
+        idx = make_index(kind, unique=True)
+        model = set()
+        for __ in range(1500):
+            roll = rng.random()
+            if roll < 0.6 and model:
+                k = rng.choice(tuple(model))
+                assert idx.search(k) == k
+            elif roll < 0.8 or not model:
+                k = rng.randrange(10000)
+                if k in model:
+                    continue
+                idx.insert(k)
+                model.add(k)
+            else:
+                k = rng.choice(tuple(model))
+                idx.delete(k)
+                model.discard(k)
+        assert len(idx) == len(model)
+        assert sorted(idx.scan()) == sorted(model)

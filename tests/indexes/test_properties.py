@@ -1,0 +1,216 @@
+"""Property-based tests: every index is equivalent to a reference model.
+
+Hypothesis drives random operation sequences against each structure and a
+plain-Python model (a set for unique indexes, a multiset of (key, id)
+items for duplicate mode); any divergence is a bug.  Stateful testing is
+the closest automated analogue of the paper's validity methodology of
+cross-checking operation counts against expected behaviour.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DuplicateKeyError, KeyNotFoundError
+from repro.indexes import INDEX_KINDS, ORDERED_KINDS
+from repro.indexes.ttree import TTreeIndex
+
+KINDS = sorted(INDEX_KINDS)
+
+# An operation is (op_code, key): 0=insert, 1=delete, 2=search.
+operations = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(-50, 50)),
+    min_size=1,
+    max_size=200,
+)
+
+#: Reined-in settings: eight structures x many examples adds up.
+LEAN = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+class TestUniqueModelEquivalence:
+    @LEAN
+    @given(ops=operations)
+    def test_matches_set_model(self, kind, ops):
+        index = INDEX_KINDS[kind](unique=True)
+        model = set()
+        for op, key in ops:
+            if op == 0:
+                if key in model:
+                    with pytest.raises(DuplicateKeyError):
+                        index.insert(key)
+                else:
+                    index.insert(key)
+                    model.add(key)
+            elif op == 1:
+                if key in model:
+                    index.delete(key)
+                    model.discard(key)
+                else:
+                    with pytest.raises(KeyNotFoundError):
+                        index.delete(key)
+            else:
+                expected = key if key in model else None
+                assert index.search(key) == expected
+        assert len(index) == len(model)
+        assert sorted(index.scan()) == sorted(model)
+
+    @LEAN
+    @given(keys=st.lists(st.integers(-1000, 1000), unique=True, max_size=150))
+    def test_bulk_insert_then_verify(self, kind, keys):
+        index = INDEX_KINDS[kind](unique=True)
+        for k in keys:
+            index.insert(k)
+        for k in keys:
+            assert index.search(k) == k
+        assert sorted(index.scan()) == sorted(keys)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+class TestDuplicateModelEquivalence:
+    @LEAN
+    @given(
+        items=st.lists(
+            st.tuples(st.integers(-10, 10), st.integers(0, 10**6)),
+            unique=True,
+            max_size=150,
+        )
+    )
+    def test_search_all_matches_filter(self, kind, items):
+        index = INDEX_KINDS[kind](key_of=lambda it: it[0], unique=False)
+        for item in items:
+            index.insert(item)
+        for key in range(-10, 11):
+            expected = sorted(it for it in items if it[0] == key)
+            assert sorted(index.search_all(key)) == expected
+
+    @LEAN
+    @given(
+        items=st.lists(
+            st.tuples(st.integers(-5, 5), st.integers(0, 10**6)),
+            unique=True,
+            min_size=2,
+            max_size=100,
+        ),
+        data=st.data(),
+    )
+    def test_delete_exact_item(self, kind, items, data):
+        index = INDEX_KINDS[kind](key_of=lambda it: it[0], unique=False)
+        for item in items:
+            index.insert(item)
+        victims = data.draw(
+            st.lists(st.sampled_from(items), unique=True, max_size=len(items))
+        )
+        for victim in victims:
+            index.delete(victim)
+        remaining = sorted(set(items) - set(victims))
+        assert sorted(index.scan()) == remaining
+
+
+@pytest.mark.parametrize("kind", sorted(ORDERED_KINDS))
+class TestOrderedProperties:
+    @LEAN
+    @given(keys=st.lists(st.integers(-10**6, 10**6), unique=True, max_size=200))
+    def test_scan_is_sorted(self, kind, keys):
+        index = INDEX_KINDS[kind](unique=True)
+        for k in keys:
+            index.insert(k)
+        assert list(index.scan()) == sorted(keys)
+
+    @LEAN
+    @given(
+        keys=st.lists(st.integers(-1000, 1000), unique=True, max_size=150),
+        low=st.integers(-1000, 1000),
+        high=st.integers(-1000, 1000),
+    )
+    def test_range_scan_matches_filter(self, kind, keys, low, high):
+        index = INDEX_KINDS[kind](unique=True)
+        for k in keys:
+            index.insert(k)
+        expected = [k for k in sorted(keys) if low <= k <= high]
+        assert list(index.range_scan(low, high)) == expected
+
+    @LEAN
+    @given(
+        keys=st.lists(st.integers(-1000, 1000), unique=True, max_size=150),
+        pivot=st.integers(-1000, 1000),
+    )
+    def test_scan_from_matches_filter(self, kind, keys, pivot):
+        index = INDEX_KINDS[kind](unique=True)
+        for k in keys:
+            index.insert(k)
+        assert list(index.scan_from(pivot)) == [
+            k for k in sorted(keys) if k >= pivot
+        ]
+
+
+@pytest.mark.parametrize("kind", sorted(ORDERED_KINDS) + ["bplus"])
+class TestOrderedDuplicateScans:
+    """Regression class: equal keys may straddle node boundaries, and
+    directional scans must not lose any of them (a real T-Tree bug this
+    property caught: scan_from started mid-run inside the bounding node,
+    skipping duplicates that had spilled into predecessor nodes)."""
+
+    @LEAN
+    @given(
+        items=st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 10**6)),
+            unique=True,
+            max_size=120,
+        ),
+        pivot=st.integers(-1, 9),
+    )
+    def test_scan_from_with_duplicates(self, kind, items, pivot):
+        index = INDEX_KINDS[kind](key_of=lambda it: it[0], unique=False)
+        for item in items:
+            index.insert(item)
+        got = sorted(index.scan_from(pivot))
+        assert got == sorted(it for it in items if it[0] >= pivot)
+
+    @LEAN
+    @given(
+        items=st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 10**6)),
+            unique=True,
+            max_size=120,
+        ),
+        low=st.integers(-1, 9),
+        high=st.integers(-1, 9),
+    )
+    def test_range_scan_with_duplicates(self, kind, items, low, high):
+        index = INDEX_KINDS[kind](key_of=lambda it: it[0], unique=False)
+        for item in items:
+            index.insert(item)
+        got = sorted(index.range_scan(low, high))
+        assert got == sorted(
+            it for it in items if low <= it[0] <= high
+        )
+
+
+class TestTTreeInvariantProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 1), st.integers(-100, 100)),
+            min_size=1,
+            max_size=300,
+        ),
+        node_size=st.integers(2, 12),
+    )
+    def test_invariants_hold_after_every_sequence(self, ops, node_size):
+        tree = TTreeIndex(node_size=node_size, unique=True)
+        model = set()
+        for op, key in ops:
+            if op == 0 and key not in model:
+                tree.insert(key)
+                model.add(key)
+            elif op == 1 and key in model:
+                tree.delete(key)
+                model.discard(key)
+        tree.check_invariants()
+        assert list(tree.scan()) == sorted(model)

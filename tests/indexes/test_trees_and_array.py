@@ -1,0 +1,201 @@
+"""Structure-specific tests for AVL trees, B-Trees, and the array index."""
+
+import random
+
+import pytest
+
+from repro.errors import UnsupportedOperationError
+from repro.indexes.array_index import ArrayIndex
+from repro.indexes.avl_tree import AVLTreeIndex
+from repro.indexes.btree import BTreeIndex
+from repro.instrument import counters_scope
+from repro.query.sort import quicksort
+
+
+class TestAVLTree:
+    def test_balance_after_ascending_inserts(self):
+        t = AVLTreeIndex()
+        for k in range(1000):
+            t.insert(k)
+        t.check_invariants()
+        # AVL height bound: 1.44 * log2(n+2); 1000 keys -> <= 14.
+        assert t.height() <= 14
+
+    def test_balance_after_descending_inserts(self):
+        t = AVLTreeIndex()
+        for k in reversed(range(1000)):
+            t.insert(k)
+        t.check_invariants()
+        assert t.height() <= 14
+
+    def test_balance_after_zigzag_inserts(self):
+        t = AVLTreeIndex()
+        for i in range(500):
+            t.insert(i)
+            t.insert(1000 - i)
+        t.check_invariants()
+
+    def test_delete_rebalances(self):
+        rng = random.Random(11)
+        t = AVLTreeIndex()
+        keys = rng.sample(range(10000), 1000)
+        for k in keys:
+            t.insert(k)
+        for k in keys[:900]:
+            t.delete(k)
+        t.check_invariants()
+        assert sorted(t.scan()) == sorted(keys[900:])
+
+    def test_delete_node_with_two_children(self):
+        t = AVLTreeIndex()
+        for k in [50, 25, 75, 10, 30, 60, 90]:
+            t.insert(k)
+        t.delete(50)  # root with two children
+        t.check_invariants()
+        assert list(t.scan()) == [10, 25, 30, 60, 75, 90]
+
+    def test_storage_factor_is_three(self):
+        # "The AVL Tree storage factor was 3 because of the two node
+        # pointers it needs for each data item."
+        t = AVLTreeIndex()
+        for k in range(100):
+            t.insert(k)
+        assert t.storage_factor() == pytest.approx(3.0)
+
+    def test_search_costs_no_arithmetic_only_compares(self):
+        t = AVLTreeIndex()
+        for k in range(1023):
+            t.insert(k)
+        with counters_scope() as c:
+            t.search(512)
+        # One comparison per level at most (three-way compare counted once).
+        assert c.comparisons <= 14
+
+
+class TestBTree:
+    def test_node_size_validated(self):
+        with pytest.raises(ValueError):
+            BTreeIndex(node_size=2)
+
+    @pytest.mark.parametrize("node_size", [3, 4, 7, 20, 64])
+    def test_invariants_after_random_mix(self, node_size):
+        rng = random.Random(node_size)
+        t = BTreeIndex(node_size=node_size)
+        model = set()
+        for __ in range(2000):
+            if model and rng.random() < 0.45:
+                k = rng.choice(tuple(model))
+                t.delete(k)
+                model.discard(k)
+            else:
+                k = rng.randrange(5000)
+                if k in model:
+                    continue
+                t.insert(k)
+                model.add(k)
+        t.check_invariants()
+        assert list(t.scan()) == sorted(model)
+
+    def test_split_propagates_to_root(self):
+        t = BTreeIndex(node_size=3)
+        for k in range(50):
+            t.insert(k)
+        t.check_invariants()
+        assert t.depth() >= 3
+
+    def test_root_collapse_on_drain(self):
+        t = BTreeIndex(node_size=3)
+        for k in range(50):
+            t.insert(k)
+        for k in range(50):
+            t.delete(k)
+        assert len(t) == 0
+        assert t.depth() == 1
+
+    def test_deletion_via_predecessor_swap(self):
+        t = BTreeIndex(node_size=3)
+        for k in range(30):
+            t.insert(k)
+        # Delete keys that live in internal nodes.
+        for k in (15, 7, 23):
+            t.delete(k)
+            t.check_invariants()
+        assert list(t.scan()) == [
+            k for k in range(30) if k not in (15, 7, 23)
+        ]
+
+    def test_search_needs_binary_search_per_level(self):
+        # "The B Tree search time is the worst of the four
+        # order-preserving structures, because it requires several binary
+        # searches, one for each node in the search path."
+        t = BTreeIndex(node_size=8)
+        avl = AVLTreeIndex()
+        for k in range(4096):
+            t.insert(k)
+            avl.insert(k)
+        with counters_scope() as bt:
+            for probe in range(0, 4096, 97):
+                t.search(probe)
+        with counters_scope() as av:
+            for probe in range(0, 4096, 97):
+                avl.search(probe)
+        assert bt.comparisons > av.comparisons
+
+    def test_duplicates_share_an_entry(self):
+        t = BTreeIndex(key_of=lambda it: it[0], unique=False, node_size=6)
+        for i in range(5):
+            t.insert((3, i))
+        t.insert((1, 99))
+        assert sorted(t.search_all(3)) == [(3, i) for i in range(5)]
+        t.delete((3, 2))
+        assert len(t.search_all(3)) == 4
+
+
+class TestArrayIndex:
+    def test_build_from_items_sorts(self):
+        arr = ArrayIndex(items=[5, 1, 4, 2, 3])
+        assert list(arr.scan()) == [1, 2, 3, 4, 5]
+
+    def test_presorted_flag_skips_sort(self):
+        arr = ArrayIndex(items=[1, 2, 3], presorted=True)
+        assert list(arr.scan()) == [1, 2, 3]
+
+    def test_positional_access(self):
+        arr = ArrayIndex(items=[30, 10, 20])
+        assert arr.at(0) == 10
+        assert arr.at(2) == 30
+
+    def test_minimum_storage(self):
+        # The array is the storage-cost baseline: exactly one pointer per
+        # item (factor 1.0).
+        arr = ArrayIndex(items=list(range(100)))
+        assert arr.storage_factor() == pytest.approx(1.0)
+
+    def test_update_moves_half_the_array(self):
+        # "Every update requires moving half of the array, on the
+        # average" — inserting at the front moves everything.
+        arr = ArrayIndex(items=list(range(1, 1001)))
+        with counters_scope() as c:
+            arr.insert(0)
+        assert c.moves >= 1000
+
+    def test_scan_reverse(self):
+        arr = ArrayIndex(items=[2, 1, 3])
+        assert list(arr.scan_reverse()) == [3, 2, 1]
+
+    def test_build_unsorted_then_quicksort(self):
+        rng = random.Random(3)
+        values = [rng.randrange(1000) for __ in range(500)]
+        arr = ArrayIndex.build_unsorted(values)
+        arr.sort_in_place(lambda items: quicksort(items))
+        assert list(arr.scan()) == sorted(values)
+
+    def test_duplicates_adjacent(self):
+        arr = ArrayIndex(
+            key_of=lambda it: it[0],
+            unique=False,
+            items=[(2, "a"), (1, "b"), (2, "c"), (1, "d")],
+        )
+        keys = [k for k, __ in arr.scan()]
+        assert keys == [1, 1, 2, 2]
+        assert sorted(arr.search_all(2)) == [(2, "a"), (2, "c")]

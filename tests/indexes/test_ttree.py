@@ -1,0 +1,203 @@
+"""T-Tree structural tests: node taxonomy, occupancy, GLB transfers,
+rotations, and the invariants of Section 3.2.1."""
+
+import random
+
+import pytest
+
+from repro.indexes.ttree import TTreeIndex
+
+
+def fill(tree, keys):
+    for k in keys:
+        tree.insert(k)
+    return tree
+
+
+class TestConstruction:
+    def test_node_size_validated(self):
+        with pytest.raises(ValueError):
+            TTreeIndex(node_size=1)
+        with pytest.raises(ValueError):
+            TTreeIndex(node_size=8, min_slack=-1)
+
+    def test_min_count_tracks_slack(self):
+        t = TTreeIndex(node_size=10, min_slack=2)
+        assert t.max_count == 10
+        assert t.min_count == 8
+
+    def test_min_count_never_below_one(self):
+        t = TTreeIndex(node_size=2, min_slack=5)
+        assert t.min_count == 1
+
+    def test_single_node_tree(self):
+        t = fill(TTreeIndex(node_size=8), [5, 3, 7])
+        assert t.node_count == 1
+        assert t.height() == 1
+        assert list(t.scan()) == [3, 5, 7]
+
+
+class TestInsertBehaviour:
+    def test_bounding_insert_goes_into_node(self):
+        # Keys 0..7 fill one node of 8; key 3.5 bounds -> overflow path.
+        t = fill(TTreeIndex(node_size=8), range(8))
+        assert t.node_count == 1
+        t.insert(3.5)  # bounded by [0..7], node full
+        t.check_invariants()
+        assert list(t.scan()) == [0, 1, 2, 3, 3.5, 4, 5, 6, 7]
+
+    def test_overflow_transfers_minimum_to_new_leaf(self):
+        t = fill(TTreeIndex(node_size=4), range(4))
+        t.insert(1.5)  # bounded, node full: min (0) moves to a left leaf
+        assert t.node_count == 2
+        assert list(t.scan()) == [0, 1, 1.5, 2, 3]
+        t.check_invariants()
+
+    def test_edge_insert_appends_without_overflow(self):
+        t = fill(TTreeIndex(node_size=8), [10, 20])
+        t.insert(5)   # below min, node has room -> becomes new minimum
+        t.insert(30)  # above max, node has room -> becomes new maximum
+        assert t.node_count == 1
+        assert list(t.scan()) == [5, 10, 20, 30]
+
+    def test_edge_insert_on_full_node_adds_leaf(self):
+        t = fill(TTreeIndex(node_size=4), [10, 20, 30, 40])
+        t.insert(5)
+        assert t.node_count == 2
+        assert list(t.scan()) == [5, 10, 20, 30, 40]
+        t.check_invariants()
+
+    def test_sequential_ascending_inserts_stay_balanced(self):
+        t = fill(TTreeIndex(node_size=10), range(1000))
+        t.check_invariants()
+        # Balanced: height is O(log(nodes)), far below node_count.
+        assert t.height() <= 9
+
+    def test_sequential_descending_inserts_stay_balanced(self):
+        t = fill(TTreeIndex(node_size=10), reversed(range(1000)))
+        t.check_invariants()
+        assert t.height() <= 9
+
+    def test_node_count_grows_with_data(self):
+        t = fill(TTreeIndex(node_size=10), range(200))
+        assert 20 <= t.node_count <= 40  # ~10 items per node
+
+
+class TestDeleteBehaviour:
+    def test_delete_from_leaf_allows_underflow(self):
+        t = fill(TTreeIndex(node_size=4), range(4))
+        t.delete(2)
+        assert list(t.scan()) == [0, 1, 3]
+        t.check_invariants()
+
+    def test_internal_underflow_borrows_glb(self):
+        # Build a three-node tree, then drain the root until it must
+        # borrow its greatest lower bound from the left subtree.
+        t = fill(TTreeIndex(node_size=4, min_slack=1), range(12))
+        t.check_invariants()
+        before = list(t.scan())
+        victim = before[len(before) // 2]
+        t.delete(victim)
+        t.check_invariants()
+        assert list(t.scan()) == [k for k in before if k != victim]
+
+    def test_emptied_leaf_is_unlinked(self):
+        t = fill(TTreeIndex(node_size=2), range(6))
+        nodes_before = t.node_count
+        for k in range(6):
+            t.delete(k)
+        assert t.node_count == 0
+        assert nodes_before > 0
+        assert t.height() == 0
+
+    def test_delete_missing_key_unsuccessful(self):
+        from repro.errors import KeyNotFoundError
+
+        t = fill(TTreeIndex(node_size=4), range(8))
+        with pytest.raises(KeyNotFoundError):
+            t.delete(100)
+        # Within bounding node but absent:
+        t2 = fill(TTreeIndex(node_size=8), [0, 2, 4, 6])
+        with pytest.raises(KeyNotFoundError):
+            t2.delete(3)
+
+
+class TestSearchSemantics:
+    def test_search_stops_at_bounding_node(self):
+        t = fill(TTreeIndex(node_size=4), range(100))
+        for k in (0, 37, 99):
+            assert t.search(k) == k
+
+    def test_search_within_bounds_but_absent(self):
+        t = fill(TTreeIndex(node_size=8), [0, 10, 20, 30])
+        assert t.search(15) is None
+
+    def test_search_all_scans_both_directions(self):
+        # Duplicates spanning several nodes must all be found from any
+        # starting match (Test 6's bidirectional scan).
+        t = TTreeIndex(
+            key_of=lambda it: it[0], unique=False, node_size=4
+        )
+        items = [(5, i) for i in range(10)]
+        items += [(1, 100), (9, 101)]
+        for item in items:
+            t.insert(item)
+        t.check_invariants()
+        assert sorted(t.search_all(5)) == sorted((5, i) for i in range(10))
+        assert t.search_all(1) == [(1, 100)]
+        assert t.search_all(7) == []
+
+
+class TestScans:
+    def test_scan_both_directions(self):
+        keys = random.Random(5).sample(range(10000), 500)
+        t = fill(TTreeIndex(node_size=6), keys)
+        assert list(t.scan()) == sorted(keys)
+        assert list(t.scan_reverse()) == sorted(keys, reverse=True)
+
+    def test_scan_from_between_nodes(self):
+        t = fill(TTreeIndex(node_size=4), range(0, 100, 2))
+        assert list(t.scan_from(51)) == list(range(52, 100, 2))
+
+    def test_range_scan(self):
+        t = fill(TTreeIndex(node_size=4), range(100))
+        assert list(t.range_scan(10, 20)) == list(range(10, 21))
+
+
+class TestOccupancyInvariant:
+    @pytest.mark.parametrize("node_size,slack", [(2, 0), (4, 1), (8, 2), (16, 2)])
+    def test_random_mix_preserves_invariants(self, node_size, slack):
+        rng = random.Random(node_size * 31 + slack)
+        t = TTreeIndex(node_size=node_size, min_slack=slack)
+        model = set()
+        for step in range(2500):
+            if model and rng.random() < 0.45:
+                k = rng.choice(tuple(model))
+                t.delete(k)
+                model.discard(k)
+            else:
+                k = rng.randrange(5000)
+                if k in model:
+                    continue
+                t.insert(k)
+                model.add(k)
+        t.check_invariants()
+        assert list(t.scan()) == sorted(model)
+
+    def test_storage_factor_reasonable_at_medium_nodes(self):
+        # The paper reports ~1.5 for medium/large nodes.
+        t = fill(TTreeIndex(node_size=30), random.Random(1).sample(range(10**6), 5000))
+        assert 1.0 <= t.storage_factor() <= 2.0
+
+
+class TestKeyExtraction:
+    def test_items_are_pointers_keys_extracted(self):
+        # "A main memory style": the index stores items, extracting keys.
+        rows = {i: (i * 10, f"row{i}") for i in range(50)}
+        t = TTreeIndex(key_of=lambda rid: rows[rid][0], node_size=6)
+        for rid in rows:
+            t.insert(rid)
+        assert t.search(170) == 17
+        assert [rows[r][0] for r in t.scan()] == sorted(
+            v[0] for v in rows.values()
+        )

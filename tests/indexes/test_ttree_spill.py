@@ -1,0 +1,99 @@
+"""Tests for the T-Tree spill policy (footnote 5) and rotation counting."""
+
+import random
+
+import pytest
+
+from repro.indexes import AVLTreeIndex, TTreeIndex
+from repro.instrument import counters_scope
+
+
+def run_mix(tree, ops):
+    for op, key in ops:
+        if op == "insert":
+            tree.insert(key)
+        else:
+            tree.delete(key)
+
+
+def make_ops(n, seed):
+    rng = random.Random(seed)
+    live = set()
+    ops = []
+    for __ in range(n):
+        if live and rng.random() < 0.45:
+            key = rng.choice(tuple(live))
+            live.discard(key)
+            ops.append(("delete", key))
+        else:
+            key = rng.randrange(n * 10)
+            if key in live:
+                continue
+            live.add(key)
+            ops.append(("insert", key))
+    return ops
+
+
+class TestSpillPolicies:
+    def test_spill_validated(self):
+        with pytest.raises(ValueError):
+            TTreeIndex(spill="sideways")
+
+    @pytest.mark.parametrize("spill", ["min", "max"])
+    def test_both_policies_correct(self, spill):
+        ops = make_ops(3000, seed=9)
+        tree = TTreeIndex(node_size=6, spill=spill)
+        model = set()
+        for op, key in ops:
+            if op == "insert":
+                tree.insert(key)
+                model.add(key)
+            else:
+                tree.delete(key)
+                model.discard(key)
+        tree.check_invariants()
+        assert list(tree.scan()) == sorted(model)
+
+    def test_min_spill_moves_less_data(self):
+        # Footnote 5: "Moving the minimum element requires less total
+        # data movement than moving the maximum element."
+        ops = make_ops(4000, seed=17)
+        costs = {}
+        for spill in ("min", "max"):
+            tree = TTreeIndex(node_size=8, min_slack=1, spill=spill)
+            with counters_scope() as counters:
+                run_mix(tree, ops)
+            costs[spill] = counters.moves
+        assert costs["min"] < costs["max"]
+
+
+class TestRotationCounting:
+    def test_ttree_rotates_much_less_than_avl(self):
+        # "Rebalancing ... is done much less often than in an AVL tree
+        # due to the possibility of intra-node data movement."
+        ops = make_ops(3000, seed=4)
+        ttree = TTreeIndex(node_size=10)
+        avl = AVLTreeIndex()
+        run_mix(ttree, ops)
+        run_mix(avl, ops)
+        assert ttree.rotation_count * 3 < avl.rotation_count
+
+    def test_slack_reduces_rotations(self):
+        # "This little bit of extra room reduces the amount of data
+        # passed down to leaves ... and the amount borrowed from leaves"
+        # — with zero slack every overflow/underflow touches the GLB leaf
+        # and rebalances more often.
+        ops = make_ops(4000, seed=23)
+        rotations = {}
+        for slack in (0, 2):
+            tree = TTreeIndex(node_size=8, min_slack=slack)
+            run_mix(tree, ops)
+            rotations[slack] = tree.rotation_count
+        assert rotations[2] <= rotations[0]
+
+    def test_rotation_counter_zero_for_balanced_insert_order(self):
+        tree = TTreeIndex(node_size=4)
+        # A single node never rotates.
+        for key in (2, 1, 3):
+            tree.insert(key)
+        assert tree.rotation_count == 0

@@ -1,0 +1,174 @@
+"""Tests for grouping/aggregation (the ValueTable layer + SQL)."""
+
+import pytest
+
+from repro import MainMemoryDatabase, QueryError
+from repro.query.aggregate import (
+    AggregateSpec,
+    ValueTable,
+    group_aggregate,
+)
+
+
+class TestAggregateSpec:
+    def test_unknown_function_rejected(self):
+        with pytest.raises(QueryError):
+            AggregateSpec("median", "x", "m")
+
+    def test_star_only_for_count(self):
+        with pytest.raises(QueryError):
+            AggregateSpec("sum", None, "s")
+        AggregateSpec("count", None, "n")  # fine
+
+
+class TestGroupAggregate:
+    ROWS = [
+        ("a", 1), ("a", 3), ("b", 2), ("b", 4), ("b", 6), ("c", None),
+    ]
+
+    def _table(self, specs, grouped=True):
+        groups = [("k", lambda r: r[0])] if grouped else []
+        return group_aggregate(
+            self.ROWS, groups, specs,
+            lambda col: (lambda r: r[1]),
+        )
+
+    def test_count_star(self):
+        table = self._table([AggregateSpec("count", None, "n")])
+        assert table.to_dicts() == [
+            {"k": "a", "n": 2}, {"k": "b", "n": 3}, {"k": "c", "n": 1},
+        ]
+
+    def test_sum_and_avg(self):
+        table = self._table([
+            AggregateSpec("sum", "v", "s"),
+            AggregateSpec("avg", "v", "m"),
+        ])
+        rows = {d["k"]: d for d in table.to_dicts()}
+        assert rows["a"]["s"] == 4 and rows["a"]["m"] == 2.0
+        assert rows["b"]["s"] == 12 and rows["b"]["m"] == 4.0
+
+    def test_min_max(self):
+        table = self._table([
+            AggregateSpec("min", "v", "lo"),
+            AggregateSpec("max", "v", "hi"),
+        ])
+        rows = {d["k"]: d for d in table.to_dicts()}
+        assert (rows["b"]["lo"], rows["b"]["hi"]) == (2, 6)
+
+    def test_nulls_ignored_except_count_star(self):
+        table = self._table([
+            AggregateSpec("count", None, "n"),
+            AggregateSpec("sum", "v", "s"),
+        ])
+        rows = {d["k"]: d for d in table.to_dicts()}
+        assert rows["c"]["n"] == 1
+        assert rows["c"]["s"] is None
+
+    def test_global_aggregation_single_row(self):
+        table = self._table(
+            [AggregateSpec("count", None, "n")], grouped=False
+        )
+        assert table.to_dicts() == [{"n": 6}]
+
+    def test_empty_input_yields_one_row(self):
+        table = group_aggregate(
+            [], [], [AggregateSpec("count", None, "n"),
+                     AggregateSpec("sum", "v", "s")],
+            lambda col: (lambda r: r[1]),
+        )
+        assert table.to_dicts() == [{"n": 0, "s": None}]
+
+    def test_group_order_is_first_encounter(self):
+        table = self._table([AggregateSpec("count", None, "n")])
+        assert [d["k"] for d in table.to_dicts()] == ["a", "b", "c"]
+
+
+class TestValueTable:
+    def _table(self):
+        return ValueTable(["k", "v"], [("b", 2), ("a", 1), ("c", 3)])
+
+    def test_len_iter_getitem(self):
+        table = self._table()
+        assert len(table) == 3
+        assert list(table)[0] == table[0] == ("b", 2)
+
+    def test_sort_by(self):
+        table = self._table().sort_by("k")
+        assert [r[0] for r in table] == ["a", "b", "c"]
+        desc = self._table().sort_by("v", descending=True)
+        assert [r[1] for r in desc] == [3, 2, 1]
+
+    def test_sort_by_unknown_column(self):
+        with pytest.raises(QueryError):
+            self._table().sort_by("zzz")
+
+    def test_limit(self):
+        assert len(self._table().limit(2)) == 2
+
+    def test_materialize_matches_rows(self):
+        table = self._table()
+        assert table.materialize() == table.rows()
+
+
+class TestSQLAggregates:
+    @pytest.fixture
+    def db(self):
+        database = MainMemoryDatabase()
+        database.sql("CREATE TABLE T (Id INT, G TEXT, V INT)")
+        for i, (g, v) in enumerate(
+            [("x", 10), ("x", 20), ("y", 5), ("y", 15), ("y", 40)]
+        ):
+            database.sql(f"INSERT INTO T VALUES ({i}, '{g}', {v})")
+        return database
+
+    def test_count_star(self, db):
+        assert db.sql("SELECT COUNT(*) FROM T").to_dicts() == [
+            {"count(*)": 5}
+        ]
+
+    def test_group_by(self, db):
+        rows = db.sql(
+            "SELECT G, COUNT(*) AS n, SUM(V) AS total FROM T GROUP BY G"
+        ).to_dicts()
+        assert rows == [
+            {"G": "x", "n": 2, "total": 30},
+            {"G": "y", "n": 3, "total": 60},
+        ]
+
+    def test_where_applies_before_grouping(self, db):
+        rows = db.sql(
+            "SELECT G, COUNT(*) AS n FROM T WHERE V >= 15 GROUP BY G"
+        ).to_dicts()
+        assert rows == [{"G": "x", "n": 1}, {"G": "y", "n": 2}]
+
+    def test_order_by_aggregate_label(self, db):
+        rows = db.sql(
+            "SELECT G, AVG(V) AS m FROM T GROUP BY G ORDER BY m DESC"
+        ).to_dicts()
+        assert [r["G"] for r in rows] == ["y", "x"]
+
+    def test_limit_on_groups(self, db):
+        rows = db.sql(
+            "SELECT G, COUNT(*) AS n FROM T GROUP BY G LIMIT 1"
+        ).to_dicts()
+        assert len(rows) == 1
+
+    def test_plain_column_must_be_grouped(self, db):
+        with pytest.raises(QueryError):
+            db.sql("SELECT Id, COUNT(*) FROM T GROUP BY G")
+
+    def test_group_by_without_aggregate_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.sql("SELECT G FROM T GROUP BY G")
+
+    def test_aggregate_over_join(self, db):
+        db.sql("CREATE TABLE S (G TEXT, Label TEXT)")
+        db.sql("INSERT INTO S VALUES ('x', 'ex'), ('y', 'why')")
+        rows = db.sql(
+            "SELECT Label, SUM(V) AS total FROM T "
+            "JOIN S ON G = G USING hash GROUP BY Label"
+        ).to_dicts()
+        assert {r["Label"]: r["total"] for r in rows} == {
+            "ex": 30, "why": 60,
+        }

@@ -1,0 +1,151 @@
+"""Tests for non-equijoins (Section 3.3.5)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError, UnsupportedOperationError
+from repro.indexes import ChainedBucketHashIndex, TTreeIndex
+from repro.instrument import counters_scope
+from repro.query.join import band_join, theta_join, tree_inequality_join
+from repro.query.plan import JoinNode, ScanNode
+
+IDENT = lambda x: x  # noqa: E731
+
+OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def build_tree(values):
+    tree = TTreeIndex(unique=False)
+    for v in values:
+        tree.insert(v)
+    return tree
+
+
+class TestThetaJoin:
+    def test_matches_predicate(self):
+        outer, inner = [1, 2, 3], [2, 3, 4]
+        got = theta_join(outer, inner, IDENT, IDENT, lambda a, b: a != b)
+        expected = [(a, b) for a in outer for b in inner if a != b]
+        assert sorted(got) == sorted(expected)
+
+    def test_empty_inputs(self):
+        assert theta_join([], [1], IDENT, IDENT, lambda a, b: True) == []
+
+
+class TestTreeInequalityJoin:
+    @pytest.mark.parametrize("op", sorted(OPS))
+    def test_matches_brute_force(self, op):
+        rng = random.Random(3)
+        outer = [rng.randrange(100) for __ in range(60)]
+        inner = [rng.randrange(100) for __ in range(80)]
+        tree = build_tree(inner)
+        got = tree_inequality_join(outer, IDENT, tree, op)
+        predicate = OPS[op]
+        expected = [
+            (a, b) for a in outer for b in inner if predicate(a, b)
+        ]
+        assert sorted(got) == sorted(expected)
+
+    def test_ne_rejected(self):
+        # "Non-equijoins other than 'not equals' can make use of
+        # ordering" — '!=' cannot.
+        with pytest.raises(UnsupportedOperationError):
+            tree_inequality_join([1], IDENT, build_tree([1]), "!=")
+
+    def test_requires_ordered_index(self):
+        with pytest.raises(UnsupportedOperationError):
+            tree_inequality_join(
+                [1], IDENT, ChainedBucketHashIndex(unique=False), "<"
+            )
+
+    def test_cheaper_than_theta_join(self):
+        # One descent + run scan per outer tuple beats comparing against
+        # every inner tuple.
+        rng = random.Random(5)
+        outer = [rng.randrange(10**6) for __ in range(200)]
+        inner = sorted(rng.randrange(10**6) for __ in range(2000))
+        tree = build_tree(inner)
+        # Use a highly selective op direction: few matches per outer.
+        with counters_scope() as tree_cost:
+            a = tree_inequality_join(outer, IDENT, tree, ">=")
+        with counters_scope() as theta_cost:
+            b = theta_join(outer, inner, IDENT, IDENT, OPS[">="])
+        assert len(a) == len(b)
+        # The advantage is in per-pair overhead-free emission: compare
+        # *comparisons*, which theta pays per outer x inner.
+        assert tree_cost.comparisons < theta_cost.comparisons / 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        outer=st.lists(st.integers(0, 50), max_size=30),
+        inner=st.lists(st.integers(0, 50), max_size=30),
+        op=st.sampled_from(sorted(OPS)),
+    )
+    def test_property_equals_brute_force(self, outer, inner, op):
+        tree = build_tree(inner)
+        got = tree_inequality_join(outer, IDENT, tree, op)
+        predicate = OPS[op]
+        expected = [(a, b) for a in outer for b in inner if predicate(a, b)]
+        assert sorted(got) == sorted(expected)
+
+
+class TestBandJoin:
+    def test_matches_brute_force(self):
+        rng = random.Random(7)
+        outer = [rng.randrange(1000) for __ in range(50)]
+        inner = [rng.randrange(1000) for __ in range(200)]
+        tree = build_tree(inner)
+        got = band_join(outer, IDENT, tree, below=5, above=10)
+        expected = [
+            (a, b) for a in outer for b in inner if a - 5 <= b <= a + 10
+        ]
+        assert sorted(got) == sorted(expected)
+
+    def test_zero_band_is_equijoin(self):
+        outer, inner = [1, 2, 3], [2, 2, 3]
+        got = band_join(outer, IDENT, build_tree(inner), 0, 0)
+        assert sorted(got) == [(2, 2), (2, 2), (3, 3)]
+
+
+class TestPlanIntegration:
+    def test_plan_validates_op(self):
+        with pytest.raises(PlanError):
+            JoinNode(ScanNode("A"), ScanNode("B"), "x", "y", "hash", "<")
+        with pytest.raises(PlanError):
+            JoinNode(ScanNode("A"), ScanNode("B"), "x", "y", "tree", "!=")
+        with pytest.raises(PlanError):
+            JoinNode(ScanNode("A"), ScanNode("B"), "x", "y", "hash", "~")
+
+    def test_engine_inequality_join_with_index(self, figure1_db):
+        figure1_db.create_index("Employee", "by_age", "Age", kind="ttree")
+        result = figure1_db.join(
+            "Employee", "Employee", on=("Age", "Age"), op="<"
+        )
+        ages = [24, 27, 54, 47, 22]
+        assert len(result) == sum(1 for a in ages for b in ages if a < b)
+
+    def test_engine_inequality_join_without_index_falls_back(self, figure1_db):
+        result = figure1_db.join(
+            "Employee", "Employee", on=("Age", "Age"), op=">="
+        )
+        ages = [24, 27, 54, 47, 22]
+        assert len(result) == sum(1 for a in ages for b in ages if a >= b)
+
+    def test_engine_ne_join(self, figure1_db):
+        result = figure1_db.join(
+            "Employee", "Department", on=("Age", "Id"), op="!="
+        )
+        assert len(result) == 20  # no age equals any department id
+
+    def test_explain_shows_operator(self):
+        node = JoinNode(ScanNode("A"), ScanNode("B"), "x", "y",
+                        "nested_loops", "<")
+        assert "x < y" in node.explain()

@@ -1,0 +1,239 @@
+"""Tests for the Section 4 optimizer rules."""
+
+import random
+
+import pytest
+
+from repro import Field, FieldType, ForeignKey, MainMemoryDatabase
+from repro.query.optimizer import Optimizer
+from repro.query.plan import (
+    REF_COLUMN,
+    FilterNode,
+    IndexLookupNode,
+    IndexRangeNode,
+    JoinNode,
+    ScanNode,
+)
+from repro.query.predicates import between, eq, ge, gt, ne
+
+
+@pytest.fixture
+def db():
+    database = MainMemoryDatabase()
+    database.create_relation(
+        "R",
+        [
+            Field("k", FieldType.INT),
+            Field("v", FieldType.INT),
+            Field("s", FieldType.STR),
+        ],
+        primary_key="k",
+    )
+    for i in range(50):
+        database.insert("R", [i, i % 5, f"s{i}"])
+    return database
+
+
+class TestSelectionPlanning:
+    def test_no_predicate_is_a_scan(self, db):
+        plan = db.optimizer.plan_selection("R", None)
+        assert isinstance(plan, ScanNode)
+        assert plan.predicate is None
+
+    def test_eq_on_tree_indexed_field_uses_tree(self, db):
+        plan = db.optimizer.plan_selection("R", eq("k", 7))
+        assert isinstance(plan, IndexLookupNode)
+        assert plan.prefer == "tree"
+
+    def test_eq_prefers_hash_when_available(self, db):
+        db.create_index("R", "k_hash", "k", kind="modified_linear_hash")
+        plan = db.optimizer.plan_selection("R", eq("k", 7))
+        assert isinstance(plan, IndexLookupNode)
+        assert plan.prefer == "hash"
+
+    def test_range_predicate_uses_tree_range(self, db):
+        plan = db.optimizer.plan_selection("R", ge("k", 10))
+        assert isinstance(plan, IndexRangeNode)
+        assert plan.low == 10
+
+    def test_between_uses_tree_range(self, db):
+        plan = db.optimizer.plan_selection("R", between("k", 5, 9))
+        assert isinstance(plan, IndexRangeNode)
+        assert (plan.low, plan.high) == (5, 9)
+
+    def test_unindexed_field_falls_to_scan(self, db):
+        plan = db.optimizer.plan_selection("R", eq("v", 3))
+        assert isinstance(plan, ScanNode)
+        assert plan.predicate is not None
+
+    def test_ne_cannot_use_index(self, db):
+        plan = db.optimizer.plan_selection("R", ne("k", 3))
+        assert isinstance(plan, ScanNode)
+
+    def test_conjunction_splits_into_lookup_plus_residual(self, db):
+        plan = db.optimizer.plan_selection("R", eq("k", 7) & eq("v", 2))
+        assert isinstance(plan, FilterNode)
+        assert isinstance(plan.child, IndexLookupNode)
+        assert plan.child.field_name == "k"
+
+    def test_planned_results_match_scan_results(self, db):
+        for predicate in (
+            eq("k", 7),
+            ge("k", 40),
+            between("k", 10, 19),
+            eq("v", 3),
+            eq("k", 7) & eq("v", 2),
+        ):
+            optimized = db.execute(db.optimizer.plan_selection("R", predicate))
+            brute = db.execute(ScanNode("R", predicate))
+            assert sorted(optimized.materialize()) == sorted(
+                brute.materialize()
+            )
+
+
+class TestColumnStatistics:
+    def test_distinct_counting(self, db):
+        stats = db.optimizer.column_stats(db.relation("R"), "v")
+        assert stats.cardinality == 50
+        assert stats.distinct == 5
+        assert stats.duplicate_fraction == pytest.approx(0.9)
+
+    def test_key_column_no_duplicates(self, db):
+        stats = db.optimizer.column_stats(db.relation("R"), "k")
+        assert stats.duplicate_fraction == 0.0
+
+    def test_cache_invalidated_by_growth(self, db):
+        before = db.optimizer.column_stats(db.relation("R"), "k")
+        db.insert("R", [999, 1, "x"])
+        after = db.optimizer.column_stats(db.relation("R"), "k")
+        assert after.cardinality == before.cardinality + 1
+
+
+class JoinSetup:
+    """Two relations with controllable index configurations."""
+
+    @staticmethod
+    def build(outer_n=100, inner_n=100, dup_every=None):
+        db = MainMemoryDatabase()
+        db.create_relation(
+            "Outer",
+            [Field("id", FieldType.INT), Field("j", FieldType.INT)],
+            primary_key="id",
+        )
+        db.create_relation(
+            "Inner",
+            [Field("id", FieldType.INT), Field("j", FieldType.INT)],
+            primary_key="id",
+        )
+        rng = random.Random(7)
+        for i in range(outer_n):
+            j = i % dup_every if dup_every else i
+            db.insert("Outer", [i, j])
+        for i in range(inner_n):
+            j = i % dup_every if dup_every else i
+            db.insert("Inner", [i, j])
+        return db
+
+
+class TestJoinMethodChoice:
+    def test_precomputed_when_fk_declared(self, figure1_db):
+        method = figure1_db.optimizer.choose_join_method(
+            figure1_db.relation("Employee"),
+            figure1_db.relation("Department"),
+            "Dept_Id",
+            "Id",
+        )
+        assert method == "precomputed"
+
+    def test_tree_merge_when_both_indexes_exist(self):
+        db = JoinSetup.build()
+        db.create_index("Outer", "oj", "j", kind="ttree")
+        db.create_index("Inner", "ij", "j", kind="ttree")
+        method = db.optimizer.choose_join_method(
+            db.relation("Outer"), db.relation("Inner"), "j", "j"
+        )
+        assert method == "tree_merge"
+
+    def test_sort_merge_at_extreme_duplicates(self):
+        # Graph 8: past ~97% duplicates Sort Merge wins even over Tree
+        # Merge with both indexes present.
+        db = JoinSetup.build(outer_n=100, inner_n=100, dup_every=2)
+        db.create_index("Outer", "oj", "j", kind="ttree")
+        db.create_index("Inner", "ij", "j", kind="ttree")
+        method = db.optimizer.choose_join_method(
+            db.relation("Outer"), db.relation("Inner"), "j", "j"
+        )
+        assert method == "sort_merge"
+
+    def test_hash_when_no_indexes(self):
+        db = JoinSetup.build()
+        method = db.optimizer.choose_join_method(
+            db.relation("Outer"), db.relation("Inner"), "j", "j"
+        )
+        assert method == "hash"
+
+    def test_tree_join_for_small_outer(self):
+        db = JoinSetup.build(outer_n=20, inner_n=100)
+        db.create_index("Inner", "ij", "j", kind="ttree")
+        method = db.optimizer.choose_join_method(
+            db.relation("Outer"), db.relation("Inner"), "j", "j"
+        )
+        assert method == "tree"
+
+    def test_hash_for_large_outer_despite_inner_index(self):
+        db = JoinSetup.build(outer_n=100, inner_n=100)
+        db.create_index("Inner", "ij", "j", kind="ttree")
+        method = db.optimizer.choose_join_method(
+            db.relation("Outer"), db.relation("Inner"), "j", "j"
+        )
+        assert method == "hash"
+
+
+class TestJoinPlanning:
+    def test_plan_join_produces_executable_plan(self, figure1_db):
+        plan = figure1_db.optimizer.plan_join(
+            "Employee", "Department", "Dept_Id", "Id"
+        )
+        assert isinstance(plan, JoinNode)
+        assert plan.method == "precomputed"
+        result = figure1_db.execute(plan)
+        assert len(result) == 5
+
+    def test_plan_join_with_outer_predicate(self, figure1_db):
+        plan = figure1_db.optimizer.plan_join(
+            "Employee", "Department", "Dept_Id", "Id",
+            outer_predicate=gt("Age", 40),
+        )
+        result = figure1_db.execute(plan)
+        assert len(result) == 2
+
+    def test_plan_join_with_inner_predicate_filters_after_pointers(
+        self, figure1_db
+    ):
+        plan = figure1_db.optimizer.plan_join(
+            "Employee", "Department", "Dept_Id", "Id",
+            inner_predicate=eq("Name", "Toy"),
+        )
+        result = figure1_db.execute(plan)
+        assert len(result) == 2  # Dave and Suzan work in Toy
+
+    def test_tree_merge_degrades_to_hash_under_predicates(self):
+        db = JoinSetup.build()
+        db.create_index("Outer", "oj", "j", kind="ttree")
+        db.create_index("Inner", "ij", "j", kind="ttree")
+        plan = db.optimizer.plan_join(
+            "Outer", "Inner", "j", "j", outer_predicate=gt("id", 50)
+        )
+        assert plan.method == "hash"
+
+    def test_all_methods_same_answer(self):
+        db = JoinSetup.build(outer_n=60, inner_n=60, dup_every=6)
+        reference = None
+        for method in ("nested_loops", "hash", "sort_merge"):
+            plan = JoinNode(
+                ScanNode("Outer"), ScanNode("Inner"), "j", "j", method
+            )
+            got = sorted(db.execute(plan).materialize())
+            if reference is None:
+                reference = got
+            assert got == reference

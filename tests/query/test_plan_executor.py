@@ -1,0 +1,243 @@
+"""Tests for plan nodes and the executor."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.query.plan import (
+    REF_COLUMN,
+    FilterNode,
+    IndexLookupNode,
+    IndexRangeNode,
+    JoinNode,
+    ProjectNode,
+    ScanNode,
+)
+from repro.query.predicates import eq, ge, gt, lt
+from tests.conftest import EMPLOYEES
+
+
+class TestPlanValidation:
+    def test_join_method_validated(self):
+        with pytest.raises(PlanError):
+            JoinNode(ScanNode("A"), ScanNode("B"), "x", "y", "warp_join")
+
+    def test_project_dedup_method_validated(self):
+        with pytest.raises(PlanError):
+            ProjectNode(ScanNode("A"), ["x"], dedup_method="magic")
+
+    def test_explain_renders_tree(self):
+        plan = ProjectNode(
+            JoinNode(
+                ScanNode("Employee", gt("Age", 30)),
+                ScanNode("Department"),
+                "Dept_Id",
+                "Id",
+                "hash",
+            ),
+            ["Age"],
+            deduplicate=True,
+        )
+        text = plan.explain()
+        assert "Join[hash]" in text
+        assert "Scan(Employee)" in text
+        assert "dedup(hash)" in text
+
+
+class TestScanExecution:
+    def test_bare_scan_returns_all(self, figure1_db):
+        result = figure1_db.execute(ScanNode("Employee"))
+        assert len(result) == len(EMPLOYEES)
+
+    def test_scan_with_predicate(self, figure1_db):
+        result = figure1_db.execute(ScanNode("Employee", gt("Age", 40)))
+        names = {d["Name"] for d in result.to_dicts()}
+        assert names == {"Yaman", "Jane"}
+
+    def test_unknown_relation_raises(self, figure1_db):
+        from repro.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            figure1_db.execute(ScanNode("Nope"))
+
+
+class TestIndexLookupExecution:
+    def test_exact_lookup_via_primary(self, figure1_db):
+        result = figure1_db.execute(IndexLookupNode("Employee", "Id", 44))
+        assert result.to_dicts()[0]["Name"] == "Yaman"
+
+    def test_lookup_prefers_hash_when_available(self, figure1_db):
+        figure1_db.create_index(
+            "Employee", "emp_hash", "Id", kind="modified_linear_hash"
+        )
+        node = IndexLookupNode("Employee", "Id", 23, prefer="hash")
+        result = figure1_db.execute(node)
+        assert result.to_dicts()[0]["Name"] == "Dave"
+
+    def test_hash_preference_without_hash_index_raises(self, figure1_db):
+        node = IndexLookupNode("Employee", "Id", 23, prefer="hash")
+        with pytest.raises(PlanError):
+            figure1_db.execute(node)
+
+    def test_unindexed_field_raises(self, figure1_db):
+        with pytest.raises(PlanError):
+            figure1_db.execute(IndexLookupNode("Employee", "Age", 24))
+
+
+class TestIndexRangeExecution:
+    def test_range_over_primary(self, figure1_db):
+        figure1_db.create_index("Employee", "by_age", "Age", kind="ttree")
+        node = IndexRangeNode("Employee", "Age", 24, 47)
+        ages = [d["Age"] for d in figure1_db.execute(node).to_dicts()]
+        assert ages == [24, 27, 47]
+
+    def test_range_needs_ordered_index(self, figure1_db):
+        with pytest.raises(PlanError):
+            figure1_db.execute(IndexRangeNode("Employee", "Age", 0, 99))
+
+
+class TestFilterExecution:
+    def test_filter_on_child_rows(self, figure1_db):
+        plan = FilterNode(ScanNode("Employee"), lt("Age", 25))
+        names = {d["Name"] for d in figure1_db.execute(plan).to_dicts()}
+        assert names == {"Dave", "Cindy"}
+
+    def test_filter_unknown_column_raises(self, figure1_db):
+        plan = FilterNode(ScanNode("Employee"), eq("Nope", 1))
+        with pytest.raises(PlanError):
+            figure1_db.execute(plan)
+
+
+class TestJoinExecution:
+    EXPECTED = {
+        ("Dave", "Toy"),
+        ("Suzan", "Toy"),
+        ("Yaman", "Linen"),
+        ("Jane", "Linen"),
+        ("Cindy", "Shoe"),
+    }
+
+    def pairs(self, result):
+        return {
+            (d["Employee.Name"], d["Department.Name"])
+            for d in result.to_dicts()
+        }
+
+    @pytest.mark.parametrize("method", ["nested_loops", "hash", "sort_merge"])
+    def test_generic_methods(self, figure1_db, method):
+        # Join stored pointer (Dept_Id REF) against the department's own
+        # pointer — Query 2's pointer-comparison join.
+        plan = JoinNode(
+            ScanNode("Employee"), ScanNode("Department"),
+            "Dept_Id", REF_COLUMN, method,
+        )
+        assert self.pairs(figure1_db.execute(plan)) == self.EXPECTED
+
+    def test_value_join_via_hash(self, figure1_db):
+        # Join on the department Id *value* extracted through pointers.
+        plan = JoinNode(
+            ScanNode("Department"), ScanNode("Department"),
+            "Id", "Id", "hash",
+        )
+        result = figure1_db.execute(plan)
+        assert len(result) == 4  # self-join on a key
+
+    def test_tree_join_uses_inner_index(self, figure1_db):
+        plan = JoinNode(
+            ScanNode("Department"), ScanNode("Employee"),
+            "Id", "Id", "tree",  # Employee_pk is a T-Tree on Id
+        )
+        result = figure1_db.execute(plan)
+        assert len(result) == 0  # department ids never equal employee ids
+
+    def test_tree_join_requires_bare_relation(self, figure1_db):
+        plan = JoinNode(
+            ScanNode("Employee"),
+            ScanNode("Department", eq("Name", "Toy")),
+            "Dept_Id", "Id", "tree",
+        )
+        with pytest.raises(PlanError):
+            figure1_db.execute(plan)
+
+    def test_tree_merge_requires_indexes_on_join_fields(self, figure1_db):
+        plan = JoinNode(
+            ScanNode("Employee"), ScanNode("Department"),
+            "Age", "Id", "tree_merge",
+        )
+        with pytest.raises(PlanError):
+            figure1_db.execute(plan)
+
+    def test_tree_merge_with_proper_indexes(self, figure1_db):
+        figure1_db.create_index("Employee", "by_age", "Age", kind="ttree")
+        figure1_db.create_index("Department", "by_id2", "Id", kind="ttree")
+        plan = JoinNode(
+            ScanNode("Employee"), ScanNode("Department"),
+            "Age", "Id", "tree_merge",
+        )
+        assert len(figure1_db.execute(plan)) == 0  # ages never match ids
+
+    def test_precomputed_join(self, figure1_db):
+        plan = JoinNode(
+            ScanNode("Employee"), ScanNode("Department"),
+            "Dept_Id", REF_COLUMN, "precomputed",
+        )
+        assert self.pairs(figure1_db.execute(plan)) == self.EXPECTED
+
+    def test_precomputed_requires_fk_field(self, figure1_db):
+        plan = JoinNode(
+            ScanNode("Employee"), ScanNode("Department"),
+            "Age", REF_COLUMN, "precomputed",
+        )
+        with pytest.raises(PlanError):
+            figure1_db.execute(plan)
+
+    def test_precomputed_requires_ref_column(self, figure1_db):
+        plan = JoinNode(
+            ScanNode("Employee"), ScanNode("Department"),
+            "Dept_Id", "Id", "precomputed",
+        )
+        with pytest.raises(PlanError):
+            figure1_db.execute(plan)
+
+    def test_join_descriptor_qualifies_collisions(self, figure1_db):
+        plan = JoinNode(
+            ScanNode("Employee"), ScanNode("Department"),
+            "Dept_Id", REF_COLUMN, "hash",
+        )
+        names = figure1_db.execute(plan).descriptor.column_names
+        assert "Employee.Name" in names and "Department.Name" in names
+        assert "Age" in names  # unique names stay unqualified
+
+    def test_ref_column_ambiguous_on_multi_source(self, figure1_db):
+        inner = JoinNode(
+            ScanNode("Employee"), ScanNode("Department"),
+            "Dept_Id", REF_COLUMN, "hash",
+        )
+        plan = JoinNode(
+            inner, ScanNode("Department"), REF_COLUMN, REF_COLUMN, "hash"
+        )
+        with pytest.raises(PlanError):
+            figure1_db.execute(plan)
+
+
+class TestProjectExecution:
+    def test_projection_is_descriptor_only(self, figure1_db):
+        plan = ProjectNode(ScanNode("Employee"), ["Name", "Age"])
+        result = figure1_db.execute(plan)
+        assert result.descriptor.column_names == ["Name", "Age"]
+        assert len(result) == len(EMPLOYEES)
+
+    @pytest.mark.parametrize("method", ["hash", "sort_scan"])
+    def test_deduplicate(self, figure1_db, method):
+        # Project Employee onto Dept_Id: 5 rows collapse to 3 departments.
+        plan = ProjectNode(
+            ScanNode("Employee"), ["Dept_Id"],
+            deduplicate=True, dedup_method=method,
+        )
+        result = figure1_db.execute(plan)
+        assert len(result) == 3
+
+    def test_multi_column_dedup(self, figure1_db):
+        plan = ProjectNode(
+            ScanNode("Employee"), ["Name", "Dept_Id"], deduplicate=True
+        )
+        assert len(figure1_db.execute(plan)) == len(EMPLOYEES)

@@ -1,0 +1,121 @@
+"""Tests for duplicate elimination (Section 3.4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.instrument import counters_scope
+from repro.query.project import project_hash, project_sort_scan
+
+
+class TestProjectHash:
+    def test_removes_duplicates(self):
+        assert sorted(project_hash([3, 1, 3, 2, 1])) == [1, 2, 3]
+
+    def test_keeps_first_occurrence_order(self):
+        assert project_hash([3, 1, 3, 2, 1]) == [3, 1, 2]
+
+    def test_no_duplicates_identity(self):
+        values = list(range(100))
+        assert project_hash(values) == values
+
+    def test_key_extractor_dedupes_by_key(self):
+        items = [(1, "a"), (2, "b"), (1, "c")]
+        got = project_hash(items, key_of=lambda it: it[0])
+        assert got == [(1, "a"), (2, "b")]
+
+    def test_table_size_defaults_to_half(self):
+        # "The hash table size was always chosen to be |R|/2."
+        values = list(range(1000))
+        got = project_hash(values)  # must still be correct at load 2.0
+        assert got == values
+
+    def test_empty_input(self):
+        assert project_hash([]) == []
+
+    def test_all_duplicates(self):
+        assert project_hash([7] * 500) == [7]
+
+
+class TestProjectSortScan:
+    def test_removes_duplicates_sorted(self):
+        assert project_sort_scan([3, 1, 3, 2, 1]) == [1, 2, 3]
+
+    def test_output_is_key_sorted(self):
+        rng = random.Random(0)
+        values = [rng.randrange(50) for __ in range(500)]
+        got = project_sort_scan(values)
+        assert got == sorted(set(values))
+
+    def test_key_extractor(self):
+        items = [(1, "a"), (2, "b"), (1, "c")]
+        got = project_sort_scan(items, key_of=lambda it: it[0])
+        assert [k for k, __ in got] == [1, 2]
+
+    def test_does_not_mutate_input(self):
+        values = [3, 1, 2]
+        project_sort_scan(values)
+        assert values == [3, 1, 2]
+
+    def test_empty_input(self):
+        assert project_sort_scan([]) == []
+
+
+class TestEquivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.integers(-100, 100), max_size=300))
+    def test_both_methods_agree(self, values):
+        assert sorted(project_hash(values)) == project_sort_scan(values)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(-20, 20), st.integers(0, 10**6)),
+            max_size=200,
+        )
+    )
+    def test_agree_under_key_extractor(self, items):
+        key = lambda it: it[0]  # noqa: E731
+        hashed = {k for k, __ in project_hash(items, key)}
+        sorted_keys = {k for k, __ in project_sort_scan(items, key)}
+        assert hashed == sorted_keys == {k for k, __ in items}
+
+
+class TestCostShapes:
+    def test_hash_is_the_clear_winner_without_duplicates(self):
+        # Graph 11: hashing linear, sort O(n log n).
+        rng = random.Random(1)
+        values = rng.sample(range(10**6), 5000)
+        with counters_scope() as h:
+            project_hash(values)
+        with counters_scope() as s:
+            project_sort_scan(values)
+        assert h.weighted_cost() < s.weighted_cost()
+
+    def test_hash_gets_faster_with_more_duplicates(self):
+        # Graph 12's falling hash curve: fewer stored elements, shorter
+        # chains.
+        rng = random.Random(2)
+        low_dup = [rng.randrange(10**6) for __ in range(5000)]
+        high_dup = [rng.randrange(50) for __ in range(5000)]
+        with counters_scope() as low:
+            project_hash(low_dup)
+        with counters_scope() as high:
+            project_hash(high_dup)
+        assert high.weighted_cost() < low.weighted_cost()
+
+    def test_sort_scan_insensitive_to_duplicates(self):
+        # "Sorting ... realizes no such advantage" — the full list is
+        # sorted regardless (the insertion-sort dip is second-order).
+        rng = random.Random(3)
+        low_dup = [rng.randrange(10**6) for __ in range(4000)]
+        high_dup = [rng.randrange(100) for __ in range(4000)]
+        with counters_scope() as low:
+            project_sort_scan(low_dup)
+        with counters_scope() as high:
+            project_sort_scan(high_dup)
+        # Within a factor of ~3 either way, not an order of magnitude.
+        ratio = high.weighted_cost() / low.weighted_cost()
+        assert 1 / 3 <= ratio <= 3

@@ -1,0 +1,96 @@
+"""Tests for the three selection access paths."""
+
+import pytest
+
+from repro.errors import UnsupportedOperationError
+from repro.indexes import (
+    ChainedBucketHashIndex,
+    ModifiedLinearHashIndex,
+    TTreeIndex,
+)
+from repro.instrument import counters_scope
+from repro.query.predicates import eq, gt
+from repro.query.select import (
+    select_from_relation,
+    select_hash,
+    select_scan,
+    select_tree_exact,
+    select_tree_range,
+)
+
+
+@pytest.fixture
+def hash_index():
+    idx = ModifiedLinearHashIndex(unique=False)
+    for k in range(100):
+        idx.insert(k)
+    return idx
+
+
+@pytest.fixture
+def tree_index():
+    idx = TTreeIndex(unique=False)
+    for k in range(100):
+        idx.insert(k)
+    return idx
+
+
+class TestAccessPaths:
+    def test_hash_lookup(self, hash_index):
+        assert select_hash(hash_index, 42) == [42]
+        assert select_hash(hash_index, 999) == []
+
+    def test_tree_exact(self, tree_index):
+        assert select_tree_exact(tree_index, 42) == [42]
+        assert select_tree_exact(tree_index, 999) == []
+
+    def test_tree_exact_rejects_hash_index(self, hash_index):
+        with pytest.raises(UnsupportedOperationError):
+            select_tree_exact(hash_index, 42)
+
+    def test_tree_range(self, tree_index):
+        assert select_tree_range(tree_index, 10, 15) == list(range(10, 16))
+
+    def test_tree_range_open_ended(self, tree_index):
+        assert select_tree_range(tree_index, 95, None) == list(range(95, 100))
+        assert select_tree_range(tree_index, None, 4) == list(range(5))
+
+    def test_tree_range_rejects_hash_index(self, hash_index):
+        # The operation hash structures were "excluded" from in the paper.
+        with pytest.raises(UnsupportedOperationError):
+            select_tree_range(hash_index, 1, 2)
+
+    def test_sequential_scan(self, tree_index):
+        got = select_scan(tree_index.scan(), lambda k: k % 10 == 0)
+        assert got == list(range(0, 100, 10))
+
+
+class TestPreferenceOrdering:
+    def test_hash_cheaper_than_tree_cheaper_than_scan(self):
+        # "A hash lookup is always faster than a tree lookup which is
+        # always faster than a sequential scan."
+        chb = ChainedBucketHashIndex.for_expected(5000, unique=True)
+        tree = TTreeIndex(unique=True)
+        for k in range(5000):
+            chb.insert(k)
+            tree.insert(k)
+        with counters_scope() as h:
+            select_hash(chb, 2500)
+        with counters_scope() as t:
+            select_tree_exact(tree, 2500)
+        with counters_scope() as s:
+            select_scan(tree.scan(), lambda k: k == 2500)
+        assert h.weighted_cost() < t.weighted_cost() < s.weighted_cost()
+
+
+class TestRelationScan:
+    def test_select_from_relation(self, figure1_db):
+        relation = figure1_db.relation("Employee")
+        refs = select_from_relation(relation, gt("Age", 40))
+        names = {relation.read_field(r, "Name") for r in refs}
+        assert names == {"Yaman", "Jane"}
+
+    def test_select_from_relation_string_eq(self, figure1_db):
+        relation = figure1_db.relation("Department")
+        refs = select_from_relation(relation, eq("Name", "Toy"))
+        assert len(refs) == 1

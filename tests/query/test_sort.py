@@ -1,0 +1,123 @@
+"""Tests for the quicksort + insertion-sort hybrid (paper footnote 6)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.instrument import counters_scope
+from repro.query.sort import (
+    INSERTION_SORT_CUTOFF,
+    insertion_sort,
+    is_sorted,
+    quicksort,
+)
+
+
+class TestInsertionSort:
+    def test_sorts_small_list(self):
+        items = [5, 2, 8, 1, 9]
+        insertion_sort(items)
+        assert items == [1, 2, 5, 8, 9]
+
+    def test_subrange_only(self):
+        items = [9, 3, 1, 2, 0]
+        insertion_sort(items, lo=1, hi=3)
+        assert items == [9, 1, 2, 3, 0]
+
+    def test_stable_for_equal_keys(self):
+        items = [(1, "a"), (0, "b"), (1, "c"), (0, "d")]
+        insertion_sort(items, key_of=lambda it: it[0])
+        assert items == [(0, "b"), (0, "d"), (1, "a"), (1, "c")]
+
+    def test_sorted_input_costs_n_comparisons(self):
+        items = list(range(100))
+        with counters_scope() as c:
+            insertion_sort(items)
+        assert c.comparisons <= 99  # one comparison per adjacent pair
+
+
+class TestQuicksort:
+    def test_cutoff_is_ten(self):
+        # "The optimal subarray size was 10."
+        assert INSERTION_SORT_CUTOFF == 10
+
+    def test_sorts_random_input(self):
+        rng = random.Random(1)
+        items = [rng.randrange(10**6) for __ in range(5000)]
+        quicksort(items)
+        assert items == sorted(items)
+
+    def test_sorts_with_key_extractor(self):
+        rng = random.Random(2)
+        items = [(rng.randrange(100), i) for i in range(1000)]
+        quicksort(items, key_of=lambda it: it[0])
+        assert [k for k, __ in items] == sorted(k for k, __ in items)
+
+    def test_handles_all_equal_keys_linearly(self):
+        # The three-way partition keeps massive duplicate runs cheap —
+        # the regime of the projection test's high-duplicate end.
+        items = [7] * 10000
+        with counters_scope() as c:
+            quicksort(items)
+        assert items == [7] * 10000
+        assert c.comparisons < 10 * 10000  # far below O(n^2)
+
+    def test_already_sorted_input(self):
+        items = list(range(2000))
+        quicksort(items)
+        assert items == list(range(2000))
+
+    def test_reverse_sorted_input(self):
+        items = list(range(2000, 0, -1))
+        quicksort(items)
+        assert items == sorted(items)
+
+    def test_empty_and_singleton(self):
+        empty = []
+        quicksort(empty)
+        assert empty == []
+        one = [42]
+        quicksort(one)
+        assert one == [42]
+
+    def test_nlogn_comparison_growth(self):
+        rng = random.Random(3)
+        costs = {}
+        for n in (1000, 4000):
+            items = [rng.randrange(10**9) for __ in range(n)]
+            with counters_scope() as c:
+                quicksort(items)
+            costs[n] = c.comparisons
+        # 4x the data should cost well under 16x (quadratic would be 16x).
+        assert costs[4000] < costs[1000] * 8
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.integers(-10**6, 10**6), max_size=400))
+    def test_property_equals_builtin_sorted(self, items):
+        expected = sorted(items)
+        quicksort(items)
+        assert items == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(-50, 50), st.integers(0, 10**6)),
+            max_size=300,
+        )
+    )
+    def test_property_key_extractor(self, items):
+        expected_keys = sorted(k for k, __ in items)
+        quicksort(items, key_of=lambda it: it[0])
+        assert [k for k, __ in items] == expected_keys
+
+
+class TestIsSorted:
+    def test_detects_sorted(self):
+        assert is_sorted([1, 2, 2, 3])
+        assert is_sorted([])
+        assert is_sorted([1])
+
+    def test_detects_unsorted(self):
+        assert not is_sorted([2, 1])

@@ -1,0 +1,185 @@
+"""Tests for the simulated disk and the change-accumulating log device."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.recovery.disk import SimulatedDisk
+from repro.recovery.log import StableLogBuffer
+from repro.recovery.log_device import LogDevice, apply_record
+from repro.storage.partition import Partition, PartitionConfig
+from repro.storage.tuples import TupleRef
+
+
+def fresh_partition(pid=0):
+    return Partition(pid, PartitionConfig(slot_capacity=8, heap_capacity=256))
+
+
+class TestSimulatedDisk:
+    def test_write_read_roundtrip(self):
+        disk = SimulatedDisk()
+        disk.write_partition("R", 0, b"image")
+        assert disk.read_partition("R", 0) == b"image"
+
+    def test_missing_partition_raises(self):
+        with pytest.raises(RecoveryError):
+            SimulatedDisk().read_partition("R", 0)
+
+    def test_io_counters(self):
+        disk = SimulatedDisk()
+        disk.write_partition("R", 0, b"12345")
+        disk.read_partition("R", 0)
+        assert disk.writes == 1 and disk.reads == 1
+        assert disk.bytes_written == 5 and disk.bytes_read == 5
+
+    def test_overwrite_replaces(self):
+        disk = SimulatedDisk()
+        disk.write_partition("R", 0, b"old")
+        disk.write_partition("R", 0, b"new")
+        assert disk.read_partition("R", 0) == b"new"
+
+    def test_delete_and_keys(self):
+        disk = SimulatedDisk()
+        disk.write_partition("R", 0, b"x")
+        disk.write_partition("S", 1, b"y")
+        assert sorted(disk.partition_keys()) == [("R", 0), ("S", 1)]
+        disk.delete_partition("R", 0)
+        assert disk.partition_keys() == [("S", 1)]
+
+    def test_reset_counters(self):
+        disk = SimulatedDisk()
+        disk.write_partition("R", 0, b"x")
+        disk.reset_counters()
+        assert disk.writes == 0 and disk.bytes_written == 0
+
+
+class TestApplyRecord:
+    def _record(self, kind, payload):
+        from repro.recovery.log import LogRecord
+
+        return LogRecord(1, 1, "R", 0, kind, payload)
+
+    def test_insert_replay(self):
+        part = fresh_partition()
+        apply_record(
+            part, self._record("insert", {"slot": 2, "values": ["a", 1]})
+        )
+        assert part.read(2) == ["a", 1]
+
+    def test_update_replay(self):
+        part = fresh_partition()
+        part.insert_at(0, ["a", 1])
+        apply_record(
+            part, self._record("update", {"slot": 0, "position": 1, "value": 9})
+        )
+        assert part.read(0) == ["a", 9]
+
+    def test_delete_replay(self):
+        part = fresh_partition()
+        part.insert_at(0, ["a", 1])
+        apply_record(part, self._record("delete", {"slot": 0}))
+        assert part.live_tuples == 0
+
+    def test_forward_replay(self):
+        part = fresh_partition()
+        part.insert_at(0, ["a", 1])
+        target = TupleRef(3, 4)
+        apply_record(part, self._record("forward", {"slot": 0, "target": target}))
+        assert part.forwarding(0) == target
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(RecoveryError):
+            apply_record(fresh_partition(), self._record("warp", {}))
+
+    def test_heap_exhaustion_triggers_compaction(self):
+        part = Partition(0, PartitionConfig(slot_capacity=4, heap_capacity=32))
+        part.insert_at(0, ["aaaaaaaaaa"])
+        # Burn the heap with growing updates, abandoning old bytes.
+        for __ in range(2):
+            apply_record(
+                part,
+                self._record(
+                    "update", {"slot": 0, "position": 0, "value": "b" * 10}
+                ),
+            )
+        # This one would overflow without compaction.
+        apply_record(
+            part,
+            self._record(
+                "update", {"slot": 0, "position": 0, "value": "c" * 10}
+            ),
+        )
+        assert part.read(0) == ["c" * 10]
+
+
+class TestLogDevice:
+    def _setup(self):
+        disk = SimulatedDisk()
+        stable = StableLogBuffer()
+        device = LogDevice(disk, stable)
+        base = fresh_partition()
+        disk.write_partition("R", 0, base.to_bytes())
+        return disk, stable, device
+
+    def test_absorb_moves_committed_records(self):
+        disk, stable, device = self._setup()
+        stable.append(1, "R", 0, "insert", {"slot": 0, "values": [1]})
+        stable.commit(1)
+        assert device.absorb() == 1
+        assert device.pending_count() == 1
+        assert stable.committed_backlog == 0
+
+    def test_propagate_applies_to_disk_copy(self):
+        disk, stable, device = self._setup()
+        stable.append(1, "R", 0, "insert", {"slot": 0, "values": [42]})
+        stable.commit(1)
+        device.absorb()
+        applied = device.propagate()
+        assert applied == 1
+        image = Partition.from_bytes(disk.read_partition("R", 0))
+        assert image.read(0) == [42]
+        assert device.pending_count() == 0
+
+    def test_propagate_respects_partition_limit(self):
+        disk, stable, device = self._setup()
+        disk.write_partition("R", 1, fresh_partition(1).to_bytes())
+        stable.append(1, "R", 0, "insert", {"slot": 0, "values": [1]})
+        stable.append(1, "R", 1, "insert", {"slot": 0, "values": [2]})
+        stable.commit(1)
+        device.absorb()
+        device.propagate(max_partitions=1)
+        assert device.pending_count() == 1
+
+    def test_load_partition_with_merge(self):
+        # The restart path: disk image + unpropagated records merged on
+        # the fly.
+        disk, stable, device = self._setup()
+        stable.append(1, "R", 0, "insert", {"slot": 0, "values": [7]})
+        stable.append(1, "R", 0, "update", {"slot": 0, "position": 0, "value": 8})
+        stable.commit(1)
+        device.absorb()
+        merged = device.load_partition_with_merge("R", 0)
+        assert merged.read(0) == [8]
+        # The merged image was written back; pending records consumed.
+        assert device.pending_count() == 0
+        reread = Partition.from_bytes(disk.read_partition("R", 0))
+        assert reread.read(0) == [8]
+
+    def test_discard_pending_after_checkpoint(self):
+        disk, stable, device = self._setup()
+        stable.append(1, "R", 0, "insert", {"slot": 0, "values": [1]})
+        stable.commit(1)
+        device.absorb()
+        assert device.discard_pending("R", 0) == 1
+        assert device.pending_count() == 0
+
+    def test_records_applied_in_lsn_order(self):
+        disk, stable, device = self._setup()
+        stable.append(1, "R", 0, "insert", {"slot": 0, "values": [1]})
+        stable.append(1, "R", 0, "update", {"slot": 0, "position": 0, "value": 2})
+        stable.append(1, "R", 0, "delete", {"slot": 0})
+        stable.append(1, "R", 0, "insert", {"slot": 0, "values": [3]})
+        stable.commit(1)
+        device.absorb()
+        device.propagate()
+        image = Partition.from_bytes(disk.read_partition("R", 0))
+        assert image.read(0) == [3]

@@ -1,0 +1,84 @@
+"""Tests for log records and the stable log buffer."""
+
+import pytest
+
+from repro.recovery.log import StableLogBuffer
+
+
+class TestStableLogBuffer:
+    def test_lsns_monotone(self):
+        log = StableLogBuffer()
+        r1 = log.append(1, "R", 0, "insert", {"slot": 0, "values": [1]})
+        r2 = log.append(1, "R", 0, "insert", {"slot": 1, "values": [2]})
+        assert r2.lsn > r1.lsn
+
+    def test_records_invisible_until_commit(self):
+        log = StableLogBuffer()
+        log.append(1, "R", 0, "insert", {"slot": 0, "values": [1]})
+        assert log.drain_committed() == []
+        log.commit(1)
+        assert len(log.drain_committed()) == 1
+
+    def test_drain_removes_records(self):
+        log = StableLogBuffer()
+        log.append(1, "R", 0, "insert", {})
+        log.commit(1)
+        assert len(log.drain_committed()) == 1
+        assert log.drain_committed() == []
+
+    def test_drain_preserves_lsn_order_across_txns(self):
+        log = StableLogBuffer()
+        log.append(1, "R", 0, "insert", {"n": 1})
+        log.append(2, "R", 0, "insert", {"n": 2})
+        log.append(1, "R", 0, "insert", {"n": 3})
+        log.commit(2)
+        log.commit(1)
+        drained = log.drain_committed()
+        assert [r.payload["n"] for r in drained] == [1, 2, 3]
+
+    def test_abort_removes_pending_records(self):
+        # "If the transaction aborts, then the log entry is removed and
+        # no undo is needed."
+        log = StableLogBuffer()
+        log.append(1, "R", 0, "insert", {})
+        log.append(1, "R", 0, "delete", {})
+        removed = log.abort(1)
+        assert removed == 2
+        log.commit(1)
+        assert log.drain_committed() == []
+
+    def test_commit_record_carries_lsn(self):
+        log = StableLogBuffer()
+        log.append(1, "R", 0, "insert", {})
+        commit = log.commit(1)
+        assert commit.txn_id == 1
+        assert commit.lsn > 0
+
+    def test_counters(self):
+        log = StableLogBuffer()
+        log.append(1, "R", 0, "insert", {})
+        log.append(2, "R", 0, "insert", {})
+        log.commit(1)
+        log.abort(2)
+        assert log.records_written == 2
+        assert log.commits == 1
+        assert log.aborts == 1
+
+    def test_backlog_accounting(self):
+        log = StableLogBuffer()
+        log.append(1, "R", 0, "insert", {})
+        assert log.pending_transactions == 1
+        assert log.committed_backlog == 0
+        log.commit(1)
+        assert log.pending_transactions == 0
+        assert log.committed_backlog == 1
+
+    def test_crash_drops_uncommitted_keeps_committed(self):
+        log = StableLogBuffer()
+        log.append(1, "R", 0, "insert", {})
+        log.commit(1)
+        log.append(2, "R", 0, "insert", {})  # in-flight at crash time
+        log.survive_crash()
+        drained = log.drain_committed()
+        assert len(drained) == 1
+        assert drained[0].txn_id == 1

@@ -1,0 +1,156 @@
+"""Property tests for durability: crash anywhere, recover everything.
+
+Hypothesis drives random sequences of committed transactions, aborted
+transactions, autocommit operations, checkpoints, and partial log
+propagation — then crashes and recovers.  The invariant: after restart
+the database equals the model built from exactly the *committed*
+operations.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Field, FieldType, MainMemoryDatabase
+
+LEAN = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# An action is one of:
+#   ("insert", key, value, committed)   - transactional insert
+#   ("update", key_choice, value, committed)
+#   ("delete", key_choice, committed)
+#   ("checkpoint",)
+#   ("propagate",)
+actions = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("insert"),
+            st.integers(0, 50),
+            st.integers(0, 100),
+            st.booleans(),
+        ),
+        st.tuples(
+            st.just("update"),
+            st.integers(0, 50),
+            st.integers(0, 100),
+            st.booleans(),
+        ),
+        st.tuples(st.just("delete"), st.integers(0, 50), st.booleans()),
+        st.tuples(st.just("checkpoint")),
+        st.tuples(st.just("propagate")),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def fresh_db() -> MainMemoryDatabase:
+    db = MainMemoryDatabase(durable=True)
+    db.create_relation(
+        "T",
+        [Field("k", FieldType.INT), Field("v", FieldType.INT)],
+        primary_key="k",
+    )
+    return db
+
+
+def apply_actions(db, script):
+    """Run the action script; returns the committed-state model."""
+    model = {}
+    index = db.relation("T").index("T_pk")
+    for action in script:
+        kind = action[0]
+        if kind == "checkpoint":
+            db.checkpoint()
+            continue
+        if kind == "propagate":
+            db.propagate_log(max_partitions=1)
+            continue
+        committed = action[-1]
+        txn = db.begin()
+        try:
+            if kind == "insert":
+                __, key, value, __ = action
+                if key in model:
+                    txn.abort()
+                    continue
+                db.insert("T", [key, value], txn=txn)
+                if committed:
+                    txn.commit()
+                    model[key] = value
+                else:
+                    txn.abort()
+            elif kind == "update":
+                __, key, value, __ = action
+                if key not in model:
+                    txn.abort()
+                    continue
+                ref = index.search(key)
+                db.update("T", ref, "v", value, txn=txn)
+                if committed:
+                    txn.commit()
+                    model[key] = value
+                else:
+                    txn.abort()
+            else:  # delete
+                __, key, __ = action
+                if key not in model:
+                    txn.abort()
+                    continue
+                ref = index.search(key)
+                db.delete("T", ref, txn=txn)
+                if committed:
+                    txn.commit()
+                    del model[key]
+                else:
+                    txn.abort()
+        except Exception:
+            if txn.active:
+                txn.abort()
+            raise
+    return model
+
+
+def database_state(db):
+    return {
+        d["k"]: d["v"] for d in db.select("T").to_dicts()
+    }
+
+
+class TestDurabilityProperty:
+    @LEAN
+    @given(script=actions)
+    def test_committed_state_survives_crash(self, script):
+        db = fresh_db()
+        model = apply_actions(db, script)
+        assert database_state(db) == model  # sanity before the crash
+        db.crash()
+        db.recover()
+        assert database_state(db) == model
+
+    @LEAN
+    @given(script=actions, working_fraction=st.floats(0.0, 1.0))
+    def test_working_set_restart_converges(self, script, working_fraction):
+        db = fresh_db()
+        model = apply_actions(db, script)
+        db.crash()
+        keys = db.recovery.disk.partition_keys()
+        cut = int(len(keys) * working_fraction)
+        db.recover(working_set=keys[:cut])
+        db.finish_recovery()
+        assert database_state(db) == model
+
+    @LEAN
+    @given(script=actions)
+    def test_double_crash_is_idempotent(self, script):
+        db = fresh_db()
+        model = apply_actions(db, script)
+        db.crash()
+        db.recover()
+        db.crash()
+        db.recover()
+        assert database_state(db) == model

@@ -1,0 +1,165 @@
+"""End-to-end crash/restart drills (paper Section 2.4, Figure 2)."""
+
+import pytest
+
+from repro import eq
+from repro.errors import RecoveryError
+from tests.conftest import EMPLOYEES
+
+
+def employee_count(db):
+    return len(db.select("Employee"))
+
+
+class TestCheckpointAndCrash:
+    def test_checkpoint_writes_every_partition(self, durable_db):
+        written = durable_db.checkpoint()
+        assert written >= 2  # at least Employee + Department partitions
+
+    def test_crash_empties_memory(self, durable_db):
+        durable_db.checkpoint()
+        durable_db.crash()
+        assert len(durable_db.relation("Employee").partitions) == 0
+
+    def test_volatile_db_has_no_recovery(self, figure1_db):
+        from repro.errors import TransactionError
+
+        with pytest.raises(TransactionError):
+            figure1_db.crash()
+        with pytest.raises(TransactionError):
+            figure1_db.checkpoint()
+
+
+class TestFullRestart:
+    def test_checkpointed_state_restored(self, durable_db):
+        durable_db.checkpoint()
+        durable_db.crash()
+        stats = durable_db.recover()
+        assert stats.total_partitions >= 2
+        assert employee_count(durable_db) == len(EMPLOYEES)
+
+    def test_post_checkpoint_updates_merged_from_log(self, durable_db):
+        durable_db.checkpoint()
+        durable_db.insert("Employee", ["Late", 101, 40, 411])
+        relation = durable_db.relation("Employee")
+        ref = relation.index("Employee_pk").search(23)
+        durable_db.update("Employee", ref, "Age", 99)
+        durable_db.crash()
+        stats = durable_db.recover()
+        assert stats.log_records_merged >= 2
+        assert employee_count(durable_db) == len(EMPLOYEES) + 1
+        dave = durable_db.select("Employee", eq("Id", 23)).to_dicts()
+        assert dave[0]["Age"] == 99
+
+    def test_deletes_survive_crash(self, durable_db):
+        durable_db.checkpoint()
+        relation = durable_db.relation("Employee")
+        ref = relation.index("Employee_pk").search(23)
+        durable_db.delete("Employee", ref)
+        durable_db.crash()
+        durable_db.recover()
+        assert employee_count(durable_db) == len(EMPLOYEES) - 1
+        assert durable_db.select("Employee", eq("Id", 23)).to_dicts() == []
+
+    def test_uncheckpointed_relation_recovers_from_log_alone(self, durable_db):
+        # Partitions created after the last checkpoint get an empty base
+        # image on first touch, so pure-log recovery works.
+        durable_db.crash()
+        durable_db.recover()
+        assert employee_count(durable_db) == len(EMPLOYEES)
+
+    def test_aborted_transactions_leave_no_trace(self, durable_db):
+        durable_db.checkpoint()
+        txn = durable_db.begin()
+        durable_db.insert("Employee", ["Ghost", 500, 30, 459], txn=txn)
+        txn.abort()
+        durable_db.crash()
+        durable_db.recover()
+        assert durable_db.select("Employee", eq("Id", 500)).to_dicts() == []
+
+    def test_committed_transactions_survive(self, durable_db):
+        durable_db.checkpoint()
+        with durable_db.begin() as txn:
+            durable_db.insert("Employee", ["Kept", 501, 30, 459], txn=txn)
+        durable_db.crash()
+        durable_db.recover()
+        assert len(durable_db.select("Employee", eq("Id", 501))) == 1
+
+    def test_repeated_crash_recover_cycles(self, durable_db):
+        durable_db.checkpoint()
+        for round_no in range(3):
+            durable_db.insert(
+                "Employee", [f"R{round_no}", 600 + round_no, 30, 459]
+            )
+            durable_db.crash()
+            durable_db.recover()
+        assert employee_count(durable_db) == len(EMPLOYEES) + 3
+
+
+class TestWorkingSetRestart:
+    def test_working_set_loads_first_rest_in_background(self, durable_db):
+        durable_db.checkpoint()
+        durable_db.crash()
+        manager = durable_db.recovery
+        employee_parts = [
+            ("Employee", pid)
+            for (rel, pid) in manager.disk.partition_keys()
+            if rel == "Employee"
+        ]
+        stats = durable_db.recover(working_set=employee_parts)
+        assert stats.working_set_partitions == len(employee_parts)
+        # Employee is usable immediately.
+        assert employee_count(durable_db) == len(EMPLOYEES)
+        # Department still queued.
+        assert manager.background_remaining > 0
+        loaded = durable_db.finish_recovery()
+        assert loaded == manager.background_remaining == 0 or loaded > 0
+        assert len(durable_db.select("Department")) == 4
+
+    def test_background_reload_step_batches(self, durable_db):
+        durable_db.checkpoint()
+        durable_db.crash()
+        durable_db.recover(working_set=[])
+        manager = durable_db.recovery
+        remaining_before = manager.background_remaining
+        assert remaining_before >= 2
+        assert manager.background_reload_step(batch=1) == 1
+        assert manager.background_remaining == remaining_before - 1
+        durable_db.finish_recovery()
+        assert manager.background_remaining == 0
+
+    def test_unknown_working_set_partition_rejected(self, durable_db):
+        durable_db.checkpoint()
+        durable_db.crash()
+        with pytest.raises(RecoveryError):
+            durable_db.recover(working_set=[("Employee", 999)])
+
+    def test_foreign_key_pointers_valid_after_restart(self, durable_db):
+        # Pointers are (partition, slot) pairs; reloading partitions at
+        # their original ids keeps every stored TupleRef valid.
+        durable_db.checkpoint()
+        durable_db.crash()
+        durable_db.recover()
+        result = durable_db.join(
+            "Employee", "Department", on=("Dept_Id", "Id"), method="auto"
+        )
+        pairs = {
+            (d["Employee.Name"], d["Department.Name"])
+            for d in result.to_dicts()
+        }
+        assert ("Dave", "Toy") in pairs
+        assert len(pairs) == len(EMPLOYEES)
+
+
+class TestLogPropagation:
+    def test_propagate_log_trims_accumulation(self, durable_db):
+        durable_db.checkpoint()
+        durable_db.insert("Employee", ["New", 700, 30, 459])
+        assert durable_db.recovery.log_device.pending_count() == 0  # not absorbed yet
+        moved = durable_db.propagate_log()
+        assert moved == 1
+        # After propagation a crash recovery needs no log merge.
+        durable_db.crash()
+        stats = durable_db.recover()
+        assert stats.log_records_merged == 0
+        assert len(durable_db.select("Employee", eq("Id", 700))) == 1

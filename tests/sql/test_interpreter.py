@@ -1,0 +1,189 @@
+"""End-to-end tests of the SQL interface against the engine."""
+
+import pytest
+
+from repro import MainMemoryDatabase, QueryError
+from repro.errors import CatalogError, DuplicateKeyError
+
+
+@pytest.fixture
+def db():
+    database = MainMemoryDatabase()
+    database.sql("CREATE TABLE Dept (Name TEXT, Id INT, PRIMARY KEY (Id))")
+    database.sql(
+        "CREATE TABLE Emp (Name TEXT, Id INT, Age INT, "
+        "Dept INT REFERENCES Dept(Id), PRIMARY KEY (Id))"
+    )
+    database.sql(
+        "INSERT INTO Dept VALUES ('Toy', 459), ('Shoe', 409), ('Linen', 411)"
+    )
+    database.sql(
+        "INSERT INTO Emp VALUES ('Dave', 23, 24, 459), "
+        "('Suzan', 12, 27, 459), ('Yaman', 44, 54, 411), "
+        "('Jane', 43, 47, 411), ('Cindy', 22, 22, 409)"
+    )
+    return database
+
+
+class TestDDL:
+    def test_create_table_makes_primary_index(self, db):
+        relation = db.relation("Emp")
+        assert "Emp_pk" in relation.indexes
+        assert relation.indexes["Emp_pk"].unique
+
+    def test_create_table_default_pk_is_first_column(self):
+        database = MainMemoryDatabase()
+        database.sql("CREATE TABLE T (a INT, b INT)")
+        assert database.relation("T").indexes["T_pk"].field_name == "a"
+
+    def test_create_index_and_use_it(self, db):
+        db.sql("CREATE INDEX by_age ON Emp (Age) USING ttree")
+        plan = db.sql("EXPLAIN SELECT * FROM Emp WHERE Age >= 30")
+        assert "IndexRange" in plan
+
+    def test_create_multi_column_index(self, db):
+        db.sql("CREATE UNIQUE INDEX na ON Emp (Name, Age)")
+        index = db.relation("Emp").index("na")
+        assert index.search(("Dave", 24)) is not None
+
+    def test_drop_table(self, db):
+        db.sql("DROP TABLE Emp")
+        with pytest.raises(CatalogError):
+            db.relation("Emp")
+
+    def test_drop_referenced_table_blocked(self, db):
+        with pytest.raises(CatalogError):
+            db.sql("DROP TABLE Dept")
+
+
+class TestInsert:
+    def test_insert_returns_refs(self, db):
+        refs = db.sql("INSERT INTO Emp VALUES ('Zoe', 99, 31, 409)")
+        assert len(refs) == 1
+        assert db.fetch("Emp", refs[0])["Name"] == "Zoe"
+
+    def test_fk_resolution_through_sql(self, db):
+        refs = db.sql("INSERT INTO Emp VALUES ('Zoe', 99, 31, 409)")
+        assert db.fetch("Emp", refs[0])["Dept"] == 409
+
+    def test_fk_violation_through_sql(self, db):
+        with pytest.raises(QueryError):
+            db.sql("INSERT INTO Emp VALUES ('Bad', 100, 30, 999)")
+
+    def test_duplicate_pk_rejected(self, db):
+        with pytest.raises(DuplicateKeyError):
+            db.sql("INSERT INTO Emp VALUES ('Dup', 23, 30, 459)")
+
+
+class TestSelect:
+    def test_star(self, db):
+        assert len(db.sql("SELECT * FROM Emp")) == 5
+
+    def test_where_pk_lookup(self, db):
+        rows = db.sql("SELECT Name FROM Emp WHERE Id = 44").materialize()
+        assert rows == [("Yaman",)]
+
+    def test_where_conjunction(self, db):
+        rows = db.sql(
+            "SELECT Name FROM Emp WHERE Age > 22 AND Age < 50"
+        ).materialize()
+        assert sorted(rows) == [("Dave",), ("Jane",), ("Suzan",)]
+
+    def test_between(self, db):
+        rows = db.sql(
+            "SELECT Name FROM Emp WHERE Age BETWEEN 22 AND 27"
+        ).materialize()
+        assert sorted(rows) == [("Cindy",), ("Dave",), ("Suzan",)]
+
+    def test_string_predicate(self, db):
+        rows = db.sql("SELECT Id FROM Emp WHERE Name = 'Cindy'").materialize()
+        assert rows == [(22,)]
+
+    def test_order_by_asc_desc(self, db):
+        asc = db.sql("SELECT Age FROM Emp ORDER BY Age").materialize()
+        desc = db.sql("SELECT Age FROM Emp ORDER BY Age DESC").materialize()
+        assert asc == sorted(asc)
+        assert desc == asc[::-1]
+
+    def test_limit(self, db):
+        assert len(db.sql("SELECT * FROM Emp LIMIT 2")) == 2
+
+    def test_distinct(self, db):
+        assert len(db.sql("SELECT DISTINCT Dept FROM Emp")) == 3
+
+    def test_join_auto_uses_precomputed(self, db):
+        plan = db.sql("EXPLAIN SELECT Emp.Name FROM Emp JOIN Dept ON Dept = Id")
+        assert "precomputed" in plan
+        rows = db.sql(
+            "SELECT Emp.Name, Dept.Name FROM Emp JOIN Dept ON Dept = Id "
+            "WHERE Age > 40"
+        ).materialize()
+        assert sorted(rows) == [("Jane", "Linen"), ("Yaman", "Linen")]
+
+    def test_join_forced_method(self, db):
+        rows = db.sql(
+            "SELECT Emp.Name FROM Emp JOIN Dept ON Dept = Id USING hash"
+        )
+        # Forcing hash joins on the Id *value* extracted through pointers.
+        assert len(rows) == 5
+
+    def test_nonequi_join(self, db):
+        rows = db.sql(
+            "SELECT * FROM Emp JOIN Emp ON Age < Age USING nested_loops"
+        )
+        ages = [24, 27, 54, 47, 22]
+        expected = sum(1 for a in ages for b in ages if a < b)
+        assert len(rows) == expected
+
+    def test_where_column_must_belong_to_a_table(self, db):
+        with pytest.raises(QueryError):
+            db.sql(
+                "SELECT * FROM Emp JOIN Dept ON Dept = Id WHERE Bogus = 1"
+            )
+
+
+class TestUpdateDelete:
+    def test_update_returns_count(self, db):
+        count = db.sql("UPDATE Emp SET Age = 25 WHERE Id = 23")
+        assert count == 1
+        assert db.sql("SELECT Age FROM Emp WHERE Id = 23").materialize() == [
+            (25,)
+        ]
+
+    def test_update_many(self, db):
+        count = db.sql("UPDATE Emp SET Age = 30 WHERE Age < 30")
+        assert count == 3
+        ages = [a for (a,) in db.sql("SELECT Age FROM Emp").materialize()]
+        assert all(a >= 30 for a in ages)
+
+    def test_update_fk_field_rebinds_pointer(self, db):
+        db.sql("UPDATE Emp SET Dept = 411 WHERE Id = 23")
+        rows = db.sql(
+            "SELECT Dept.Name FROM Emp JOIN Dept ON Dept = Id "
+            "WHERE Emp.Id = 23"
+        ).materialize()
+        assert rows == [("Linen",)]
+
+    def test_delete_with_predicate(self, db):
+        count = db.sql("DELETE FROM Emp WHERE Age > 40")
+        assert count == 2
+        assert len(db.sql("SELECT * FROM Emp")) == 3
+
+    def test_delete_all(self, db):
+        assert db.sql("DELETE FROM Emp") == 5
+        assert len(db.sql("SELECT * FROM Emp")) == 0
+
+
+class TestExplain:
+    def test_pk_lookup_uses_tree(self, db):
+        plan = db.sql("EXPLAIN SELECT * FROM Emp WHERE Id = 23")
+        assert "IndexLookup" in plan
+
+    def test_hash_preferred_when_available(self, db):
+        db.sql("CREATE INDEX h ON Emp (Id) USING modified_linear_hash")
+        plan = db.sql("EXPLAIN SELECT * FROM Emp WHERE Id = 23")
+        assert "via hash" in plan
+
+    def test_unindexed_scan(self, db):
+        plan = db.sql("EXPLAIN SELECT * FROM Emp WHERE Age = 24")
+        assert "Scan" in plan

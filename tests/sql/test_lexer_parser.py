@@ -1,0 +1,186 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.sql.lexer import SQLSyntaxError, TokenType, tokenize
+from repro.sql.parser import (
+    Condition,
+    CreateIndex,
+    CreateTable,
+    Delete,
+    DropIndex,
+    DropTable,
+    Explain,
+    Insert,
+    Select,
+    Update,
+    parse_statement,
+)
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select Select SELECT")
+        assert all(t.is_keyword("SELECT") for t in tokens[:-1])
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("Employee")
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "Employee"
+
+    def test_qualified_identifier(self):
+        tokens = tokenize("Emp.Name")
+        assert tokens[0].value == "Emp.Name"
+
+    def test_numeric_literals(self):
+        tokens = tokenize("42 3.14")
+        assert (tokens[0].type, tokens[0].value) == (TokenType.INT, "42")
+        assert (tokens[1].type, tokens[1].value) == (TokenType.FLOAT, "3.14")
+
+    def test_string_literal_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_operators(self):
+        values = [t.value for t in tokenize("= != <> < <= > >=")[:-1]]
+        assert values == ["=", "!=", "!=", "<", "<=", ">", ">="]
+
+    def test_junk_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT @ FROM x")
+
+
+class TestParseDDL:
+    def test_create_table(self):
+        stmt = parse_statement(
+            "CREATE TABLE Emp (Name TEXT, Id INT, Salary FLOAT, "
+            "PRIMARY KEY (Id))"
+        )
+        assert isinstance(stmt, CreateTable)
+        assert stmt.name == "Emp"
+        assert [c.name for c in stmt.columns] == ["Name", "Id", "Salary"]
+        assert [c.type_name for c in stmt.columns] == ["str", "int", "float"]
+        assert stmt.primary_key == "Id"
+
+    def test_create_table_with_references(self):
+        stmt = parse_statement(
+            "CREATE TABLE Emp (Id INT, Dept INT REFERENCES Dept(Id))"
+        )
+        assert stmt.columns[1].references == ("Dept", "Id")
+
+    def test_create_table_needs_columns(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("CREATE TABLE Emp (PRIMARY KEY (Id))")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("CREATE TABLE T (x BLOB)")
+
+    def test_create_index(self):
+        stmt = parse_statement(
+            "CREATE UNIQUE INDEX by_name ON Emp (Name) USING chained_hash"
+        )
+        assert isinstance(stmt, CreateIndex)
+        assert stmt.unique
+        assert stmt.kind == "chained_hash"
+        assert stmt.columns == ("Name",)
+
+    def test_create_multi_column_index(self):
+        stmt = parse_statement("CREATE INDEX na ON Emp (Name, Age)")
+        assert stmt.columns == ("Name", "Age")
+        assert not stmt.unique
+
+    def test_drop_statements(self):
+        assert isinstance(parse_statement("DROP TABLE Emp"), DropTable)
+        stmt = parse_statement("DROP INDEX by_name ON Emp")
+        assert isinstance(stmt, DropIndex)
+        assert (stmt.name, stmt.table) == ("by_name", "Emp")
+
+
+class TestParseDML:
+    def test_insert_multiple_rows(self):
+        stmt = parse_statement(
+            "INSERT INTO Emp VALUES ('Dave', 23), ('Suzan', 12)"
+        )
+        assert isinstance(stmt, Insert)
+        assert stmt.rows == (("Dave", 23), ("Suzan", 12))
+
+    def test_insert_null(self):
+        stmt = parse_statement("INSERT INTO Emp VALUES (NULL, 1)")
+        assert stmt.rows[0] == (None, 1)
+
+    def test_update(self):
+        stmt = parse_statement(
+            "UPDATE Emp SET Age = 25, Name = 'Dave' WHERE Id = 23"
+        )
+        assert isinstance(stmt, Update)
+        assert stmt.assignments == (("Age", 25), ("Name", "Dave"))
+        assert stmt.conditions[0] == Condition("Id", "=", 23)
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM Emp WHERE Age >= 65")
+        assert isinstance(stmt, Delete)
+        assert stmt.conditions == (Condition("Age", ">=", 65),)
+
+    def test_delete_without_where(self):
+        assert parse_statement("DELETE FROM Emp").conditions == ()
+
+
+class TestParseSelect:
+    def test_star(self):
+        stmt = parse_statement("SELECT * FROM Emp")
+        assert isinstance(stmt, Select)
+        assert stmt.columns == ()
+
+    def test_column_list_and_where(self):
+        stmt = parse_statement(
+            "SELECT Name, Age FROM Emp WHERE Age > 25 AND Age <= 60"
+        )
+        assert stmt.columns == ("Name", "Age")
+        assert stmt.conditions == (
+            Condition("Age", ">", 25),
+            Condition("Age", "<=", 60),
+        )
+
+    def test_between(self):
+        stmt = parse_statement("SELECT * FROM Emp WHERE Age BETWEEN 20 AND 30")
+        assert stmt.conditions == (Condition("Age", "between", 20, 30),)
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT Dept FROM Emp").distinct
+
+    def test_join_with_method(self):
+        stmt = parse_statement(
+            "SELECT * FROM Emp JOIN Dept ON Dept = Id USING tree_merge"
+        )
+        assert stmt.join_table == "Dept"
+        assert (stmt.join_left, stmt.join_right) == ("Dept", "Id")
+        assert stmt.join_method == "tree_merge"
+
+    def test_nonequi_join(self):
+        stmt = parse_statement("SELECT * FROM A JOIN B ON x < y")
+        assert stmt.join_op == "<"
+
+    def test_order_and_limit(self):
+        stmt = parse_statement(
+            "SELECT * FROM Emp ORDER BY Age DESC LIMIT 5"
+        )
+        assert stmt.order_by == "Age"
+        assert stmt.order_desc
+        assert stmt.limit == 5
+
+    def test_explain(self):
+        stmt = parse_statement("EXPLAIN SELECT * FROM Emp WHERE Id = 1")
+        assert isinstance(stmt, Explain)
+        assert stmt.select.table == "Emp"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT * FROM Emp banana")
+
+    def test_semicolon_tolerated(self):
+        parse_statement("SELECT * FROM Emp;")
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT * FROM Emp LIMIT x")

@@ -1,0 +1,96 @@
+"""Unit tests for the catalog."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.storage.catalog import Catalog
+from repro.storage.schema import Field, FieldType, ForeignKey, Schema
+
+
+def int_schema() -> Schema:
+    return Schema([Field("k", FieldType.INT)])
+
+
+class TestCatalog:
+    def test_create_and_lookup(self):
+        catalog = Catalog()
+        rel = catalog.create_relation("R", int_schema())
+        assert catalog.relation("R") is rel
+        assert "R" in catalog
+        assert len(catalog) == 1
+
+    def test_duplicate_name_rejected(self):
+        catalog = Catalog()
+        catalog.create_relation("R", int_schema())
+        with pytest.raises(CatalogError):
+            catalog.create_relation("R", int_schema())
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().relation("missing")
+
+    def test_fk_target_must_exist(self):
+        catalog = Catalog()
+        schema = Schema(
+            [Field("d", FieldType.INT, references=ForeignKey("Dept", "Id"))]
+        )
+        with pytest.raises(CatalogError):
+            catalog.create_relation("Emp", schema)
+
+    def test_self_reference_allowed(self):
+        catalog = Catalog()
+        schema = Schema(
+            [
+                Field("Id", FieldType.INT),
+                Field(
+                    "Manager",
+                    FieldType.INT,
+                    references=ForeignKey("Emp", "Id"),
+                ),
+            ]
+        )
+        catalog.create_relation("Emp", schema)  # must not raise
+
+    def test_drop_relation(self):
+        catalog = Catalog()
+        catalog.create_relation("R", int_schema())
+        catalog.drop_relation("R")
+        assert "R" not in catalog
+
+    def test_drop_referenced_relation_blocked(self):
+        catalog = Catalog()
+        catalog.create_relation(
+            "Dept", Schema([Field("Id", FieldType.INT)])
+        )
+        catalog.create_relation(
+            "Emp",
+            Schema(
+                [
+                    Field("Id", FieldType.INT),
+                    Field(
+                        "d", FieldType.INT, references=ForeignKey("Dept", "Id")
+                    ),
+                ]
+            ),
+        )
+        with pytest.raises(CatalogError):
+            catalog.drop_relation("Dept")
+        catalog.drop_relation("Emp")
+        catalog.drop_relation("Dept")  # now allowed
+
+    def test_iteration_and_names(self):
+        catalog = Catalog()
+        catalog.create_relation("A", int_schema())
+        catalog.create_relation("B", int_schema())
+        assert catalog.names == ["A", "B"]
+        assert [r.name for r in catalog] == ["A", "B"]
+
+    def test_all_partitions_lists_recovery_units(self):
+        catalog = Catalog()
+        rel = catalog.create_relation("R", int_schema())
+        rel.create_index("pk", "k", unique=True)
+        for i in range(3):
+            rel.insert([i])
+        pairs = catalog.all_partitions()
+        assert pairs
+        assert all(name == "R" for name, __ in pairs)

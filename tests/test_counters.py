@@ -1,0 +1,152 @@
+"""Unit tests for the operation-counter instrumentation."""
+
+import pytest
+
+from repro.instrument import (
+    OpCounters,
+    count_alloc,
+    count_compare,
+    count_hash,
+    count_move,
+    count_traverse,
+    counters_scope,
+    current_counters,
+    set_counters_enabled,
+)
+
+
+class TestOpCounters:
+    def test_fresh_counters_are_zero(self):
+        counters = OpCounters()
+        assert counters.total() == 0
+        assert counters.as_dict() == {
+            "comparisons": 0,
+            "moves": 0,
+            "hashes": 0,
+            "traversals": 0,
+            "allocations": 0,
+        }
+
+    def test_total_sums_all_fields(self):
+        counters = OpCounters(
+            comparisons=1, moves=2, hashes=3, traversals=4, allocations=5
+        )
+        assert counters.total() == 15
+
+    def test_bump_extra_counter(self):
+        counters = OpCounters()
+        counters.bump("rotations")
+        counters.bump("rotations", 4)
+        assert counters.extra["rotations"] == 5
+        assert counters.total() == 5
+
+    def test_reset_clears_everything(self):
+        counters = OpCounters(comparisons=7)
+        counters.bump("x", 3)
+        counters.reset()
+        assert counters.total() == 0
+        assert counters.extra == {}
+
+    def test_snapshot_is_independent(self):
+        counters = OpCounters(comparisons=1)
+        snap = counters.snapshot()
+        counters.comparisons += 10
+        assert snap.comparisons == 1
+
+    def test_diff_subtracts_earlier(self):
+        earlier = OpCounters(comparisons=5, moves=2)
+        later = OpCounters(comparisons=9, moves=2)
+        delta = later.diff(earlier)
+        assert delta.comparisons == 4
+        assert delta.moves == 0
+
+    def test_diff_handles_extra_keys(self):
+        earlier = OpCounters()
+        earlier.bump("a", 2)
+        later = OpCounters()
+        later.bump("a", 5)
+        later.bump("b", 1)
+        delta = later.diff(earlier)
+        assert delta.extra == {"a": 3, "b": 1}
+
+    def test_merge_accumulates(self):
+        a = OpCounters(comparisons=1)
+        b = OpCounters(comparisons=2, moves=3)
+        b.bump("z")
+        a.merge(b)
+        assert a.comparisons == 3
+        assert a.moves == 3
+        assert a.extra == {"z": 1}
+
+    def test_weighted_cost_defaults(self):
+        counters = OpCounters(comparisons=10, hashes=1)
+        # hash weighted 4x by default (the paper's fixed lookup cost k).
+        assert counters.weighted_cost() == 14.0
+
+    def test_weighted_cost_custom_weights(self):
+        counters = OpCounters(moves=5)
+        assert counters.weighted_cost(move_weight=2.0) == 10.0
+
+
+class TestCounterScopes:
+    def test_scope_captures_operations(self):
+        with counters_scope() as scope:
+            count_compare(3)
+            count_move(2)
+            count_hash()
+            count_traverse(4)
+            count_alloc()
+        assert scope.comparisons == 3
+        assert scope.moves == 2
+        assert scope.hashes == 1
+        assert scope.traversals == 4
+        assert scope.allocations == 1
+
+    def test_nested_scope_shadows_outer(self):
+        with counters_scope() as outer:
+            count_compare()
+            with counters_scope() as inner:
+                count_compare(5)
+            count_compare()
+        assert outer.comparisons == 2
+        assert inner.comparisons == 5
+
+    def test_current_counters_tracks_innermost(self):
+        base = current_counters()
+        with counters_scope() as scope:
+            assert current_counters() is scope
+        assert current_counters() is base
+
+    def test_scope_accepts_existing_instance(self):
+        mine = OpCounters()
+        with counters_scope(mine) as scope:
+            assert scope is mine
+            count_compare()
+        assert mine.comparisons == 1
+
+    def test_counting_without_scope_does_not_crash(self):
+        count_compare()
+        count_move()
+
+    def test_disable_makes_helpers_noops(self):
+        try:
+            with counters_scope() as scope:
+                set_counters_enabled(False)
+                count_compare(100)
+            assert scope.comparisons == 0
+        finally:
+            set_counters_enabled(True)
+
+    def test_reenable_restores_counting(self):
+        set_counters_enabled(False)
+        set_counters_enabled(True)
+        with counters_scope() as scope:
+            count_compare()
+        assert scope.comparisons == 1
+
+    def test_scope_pops_on_exception(self):
+        base = current_counters()
+        with pytest.raises(RuntimeError):
+            with counters_scope():
+                raise RuntimeError("boom")
+        assert current_counters() is base

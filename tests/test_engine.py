@@ -1,0 +1,244 @@
+"""Integration tests for the MainMemoryDatabase facade.
+
+These exercise the paper's own example queries (Section 2.1) end to end:
+Query 1 (selection + precomputed join via foreign-key pointers) and
+Query 2 (selection + pointer-comparison join).
+"""
+
+import pytest
+
+from repro import (
+    Field,
+    FieldType,
+    ForeignKey,
+    MainMemoryDatabase,
+    QueryError,
+    SchemaError,
+    between,
+    eq,
+    gt,
+)
+from repro.query.plan import REF_COLUMN, JoinNode, ScanNode
+from repro.storage.tuples import TupleRef
+from tests.conftest import DEPARTMENTS, EMPLOYEES
+
+
+class TestSchemaManagement:
+    def test_primary_index_created_automatically(self, figure1_db):
+        relation = figure1_db.relation("Employee")
+        assert "Employee_pk" in relation.indexes
+        assert relation.indexes["Employee_pk"].kind == "ttree"
+        assert relation.indexes["Employee_pk"].unique
+
+    def test_primary_index_kind_overridable(self):
+        db = MainMemoryDatabase()
+        db.create_relation(
+            "R",
+            [Field("k", FieldType.INT)],
+            primary_index_kind="modified_linear_hash",
+        )
+        assert db.relation("R").any_index().kind == "modified_linear_hash"
+
+    def test_secondary_index_creation(self, figure1_db):
+        idx = figure1_db.create_index(
+            "Employee", "by_age", "Age", kind="ttree"
+        )
+        assert idx.search(54) is not None
+
+    def test_invalid_primary_key_rejected(self):
+        db = MainMemoryDatabase()
+        with pytest.raises(SchemaError):
+            db.create_relation(
+                "R", [Field("k", FieldType.INT)], primary_key="nope"
+            )
+
+
+class TestForeignKeySubstitution:
+    def test_fk_value_replaced_by_pointer(self, figure1_db):
+        relation = figure1_db.relation("Employee")
+        ref = relation.index("Employee_pk").search(23)
+        stored = relation.read_field(ref, "Dept_Id")
+        assert isinstance(stored, TupleRef)
+
+    def test_fetch_follows_pointer_back_to_value(self, figure1_db):
+        relation = figure1_db.relation("Employee")
+        ref = relation.index("Employee_pk").search(23)
+        assert figure1_db.fetch("Employee", ref)["Dept_Id"] == 459
+
+    def test_fk_violation_rejected(self, figure1_db):
+        with pytest.raises(QueryError):
+            figure1_db.insert("Employee", ["Bad", 99, 30, 999])
+
+    def test_null_fk_allowed(self, figure1_db):
+        ref = figure1_db.insert("Employee", ["NoDept", 99, 30, None])
+        assert figure1_db.fetch("Employee", ref)["Dept_Id"] is None
+
+    def test_dict_insert(self, figure1_db):
+        ref = figure1_db.insert(
+            "Employee",
+            {"Name": "Zoe", "Id": 99, "Age": 31, "Dept_Id": 455},
+        )
+        assert figure1_db.fetch("Employee", ref)["Name"] == "Zoe"
+
+    def test_dict_insert_missing_field(self, figure1_db):
+        with pytest.raises(SchemaError):
+            figure1_db.insert("Employee", {"Name": "Zoe", "Id": 99})
+
+    def test_fk_update_rebinds_pointer(self, figure1_db):
+        relation = figure1_db.relation("Employee")
+        ref = relation.index("Employee_pk").search(23)
+        figure1_db.update("Employee", ref, "Dept_Id", 455)
+        assert figure1_db.fetch("Employee", ref)["Dept_Id"] == 455
+
+    def test_fk_update_to_missing_value_rejected(self, figure1_db):
+        relation = figure1_db.relation("Employee")
+        ref = relation.index("Employee_pk").search(23)
+        with pytest.raises(QueryError):
+            figure1_db.update("Employee", ref, "Dept_Id", 12345)
+
+
+class TestPaperQuery1:
+    """Query 1: Employee name, age, and Department name for employees
+    over a given age, via the precomputed join."""
+
+    def test_query1_results(self, figure1_db):
+        result = figure1_db.join(
+            "Employee",
+            "Department",
+            on=("Dept_Id", "Id"),
+            outer_predicate=gt("Age", 25),
+        )
+        projected = figure1_db.project(
+            result, ["Employee.Name", "Age", "Department.Name"]
+        )
+        rows = set(map(tuple, projected.materialize()))
+        assert rows == {
+            ("Suzan", 27, "Toy"),
+            ("Yaman", 54, "Linen"),
+            ("Jane", 47, "Linen"),
+        }
+
+    def test_optimizer_picks_precomputed(self, figure1_db):
+        plan = figure1_db.optimizer.plan_join(
+            "Employee", "Department", "Dept_Id", "Id"
+        )
+        assert plan.method == "precomputed"
+
+
+class TestPaperQuery2:
+    """Query 2: names of employees in the Toy or Shoe departments — a
+    join whose comparison runs on tuple pointers, not data values."""
+
+    def test_query2_results(self, figure1_db):
+        toy_shoe = figure1_db.select("Department", eq("Name", "Toy"))
+        shoe = figure1_db.select("Department", eq("Name", "Shoe"))
+        for row in shoe:
+            toy_shoe.append(row)
+        # Pointer join: Employee.Dept_Id (a stored pointer) against the
+        # selected departments' own tuple pointers.
+        plan = JoinNode(
+            ScanNode("Employee"),
+            ScanNode("Department", eq("Name", "Toy")),
+            "Dept_Id",
+            REF_COLUMN,
+            "hash",
+        )
+        result = figure1_db.execute(plan)
+        names = {d["Employee.Name"] for d in result.to_dicts()}
+        assert names == {"Dave", "Suzan"}
+
+    def test_pointer_join_both_departments(self, figure1_db):
+        from repro.query.predicates import Comparison, Op
+
+        plan = JoinNode(
+            ScanNode("Employee"),
+            ScanNode("Department", eq("Name", "Shoe")),
+            "Dept_Id",
+            REF_COLUMN,
+            "hash",
+        )
+        result = figure1_db.execute(plan)
+        assert {d["Employee.Name"] for d in result.to_dicts()} == {"Cindy"}
+
+
+class TestSelection:
+    def test_select_all(self, figure1_db):
+        assert len(figure1_db.select("Employee")) == len(EMPLOYEES)
+
+    def test_select_by_key_uses_index(self, figure1_db):
+        result = figure1_db.select("Employee", eq("Id", 44))
+        assert result.to_dicts()[0]["Name"] == "Yaman"
+
+    def test_select_range_with_secondary_index(self, figure1_db):
+        figure1_db.create_index("Employee", "by_age", "Age", kind="ttree")
+        result = figure1_db.select("Employee", between("Age", 24, 47))
+        ages = sorted(d["Age"] for d in result.to_dicts())
+        assert ages == [24, 27, 47]
+
+    def test_select_unindexed_field_scans(self, figure1_db):
+        result = figure1_db.select("Employee", eq("Name", "Cindy"))
+        assert len(result) == 1
+
+
+class TestJoinMethodsAgree:
+    @pytest.mark.parametrize(
+        "method", ["auto", "hash", "sort_merge", "nested_loops", "precomputed"]
+    )
+    def test_employee_department_join(self, figure1_db, method):
+        if method in ("hash", "sort_merge", "nested_loops"):
+            result = figure1_db.join(
+                "Employee", "Department", on=("Dept_Id", REF_COLUMN),
+                method=method,
+            )
+        else:
+            result = figure1_db.join(
+                "Employee", "Department", on=("Dept_Id", "Id"), method=method
+            )
+        pairs = {
+            (d["Employee.Name"], d["Department.Name"])
+            for d in result.to_dicts()
+        }
+        assert pairs == {
+            ("Dave", "Toy"),
+            ("Suzan", "Toy"),
+            ("Yaman", "Linen"),
+            ("Jane", "Linen"),
+            ("Cindy", "Shoe"),
+        }
+
+
+class TestProjection:
+    def test_projection_dedupe_departments(self, figure1_db):
+        employees = figure1_db.select("Employee")
+        depts = figure1_db.project(
+            employees, ["Dept_Id"], deduplicate=True
+        )
+        assert len(depts) == 3
+
+    def test_projection_without_dedupe_keeps_rows(self, figure1_db):
+        employees = figure1_db.select("Employee")
+        names = figure1_db.project(employees, ["Name"])
+        assert len(names) == len(EMPLOYEES)
+
+    def test_sort_scan_method(self, figure1_db):
+        employees = figure1_db.select("Employee")
+        depts = figure1_db.project(
+            employees, ["Dept_Id"], deduplicate=True, method="sort_scan"
+        )
+        assert len(depts) == 3
+
+    def test_resolve_refs_in_to_dicts(self, figure1_db):
+        employees = figure1_db.select("Employee", eq("Id", 23))
+        plain = employees.to_dicts()[0]
+        resolved = employees.to_dicts(resolve_refs=True)[0]
+        assert isinstance(plain["Dept_Id"], TupleRef)
+        assert resolved["Dept_Id"] == 459
+
+
+class TestExplain:
+    def test_explain_renders(self, figure1_db):
+        plan = figure1_db.optimizer.plan_join(
+            "Employee", "Department", "Dept_Id", "Id"
+        )
+        text = figure1_db.explain(plan)
+        assert "precomputed" in text

@@ -1,0 +1,88 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the user-facing contract; a refactor that breaks one must
+fail the suite, not the reader.
+"""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    captured = io.StringIO()
+    with redirect_stdout(captured):
+        runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    # Every example narrates what it did.
+    assert captured.getvalue().strip()
+
+
+def test_all_examples_discovered():
+    assert {
+        "quickstart.py",
+        "employee_department.py",
+        "recovery_drill.py",
+        "program_editor.py",
+        "sql_analytics.py",
+    } <= set(EXAMPLES)
+
+
+class TestSQLShellRendering:
+    """The REPL's rendering helpers (the loop itself needs a TTY)."""
+
+    def _db(self):
+        from repro import MainMemoryDatabase
+
+        db = MainMemoryDatabase()
+        db.sql("CREATE TABLE T (k INT, v TEXT)")
+        db.sql("INSERT INTO T VALUES (1, 'one'), (2, 'two')")
+        return db
+
+    def test_render_select(self):
+        from repro.sql.__main__ import render
+
+        db = self._db()
+        text = render(db.sql("SELECT * FROM T ORDER BY k"))
+        assert "one" in text and "2 row(s)" in text
+
+    def test_render_aggregate(self):
+        from repro.sql.__main__ import render
+
+        db = self._db()
+        text = render(db.sql("SELECT COUNT(*) FROM T"))
+        assert "2" in text
+
+    def test_render_dml_and_ddl(self):
+        from repro.sql.__main__ import render
+
+        db = self._db()
+        assert "affected" in render(db.sql("DELETE FROM T WHERE k = 1"))
+        assert "inserted" in render(db.sql("INSERT INTO T VALUES (3, 'x')"))
+        assert render(None) == "ok"
+
+    def test_render_empty_result(self):
+        from repro.sql.__main__ import render
+
+        db = self._db()
+        assert render(db.sql("SELECT * FROM T WHERE k = 99")) == "(empty)"
+
+    def test_dot_commands(self, capsys):
+        from repro.sql.__main__ import run_command
+
+        db = self._db()
+        assert run_command(db, ".tables") is True
+        assert "T (" in capsys.readouterr().out
+        assert run_command(db, ".indexes T") is True
+        assert "T_pk" in capsys.readouterr().out
+        assert run_command(db, ".quit") is False
+        assert run_command(db, ".bogus") is True
+        assert "unknown command" in capsys.readouterr().out

@@ -1,0 +1,173 @@
+"""Property tests: the optimizer never changes query answers.
+
+Random relations, random predicates, random join configurations — the
+optimized plan must return exactly what a brute-force evaluation returns,
+whatever access path or join method got picked.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Field, FieldType, MainMemoryDatabase
+from repro.query.plan import JoinNode, ScanNode
+from repro.query.predicates import Comparison, Conjunction, Op
+
+LEAN = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 10)),
+    min_size=0,
+    max_size=40,
+    unique_by=lambda t: t[0],
+)
+
+comparison_ops = st.sampled_from(
+    [Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE]
+)
+
+
+def build_db(rows, with_hash_index=False, with_value_tree=False):
+    db = MainMemoryDatabase()
+    db.create_relation(
+        "R",
+        [Field("k", FieldType.INT), Field("v", FieldType.INT)],
+        primary_key="k",
+    )
+    if with_hash_index:
+        db.create_index("R", "k_hash", "k", kind="modified_linear_hash")
+    if with_value_tree:
+        db.create_index("R", "v_tree", "v", kind="ttree")
+    for k, v in rows:
+        db.insert("R", [k, v])
+    return db
+
+
+def brute_force(db, predicate):
+    result = db.execute(ScanNode("R", predicate))
+    return sorted(result.materialize())
+
+
+class TestSelectionEquivalence:
+    @LEAN
+    @given(
+        rows=rows_strategy,
+        field=st.sampled_from(["k", "v"]),
+        op=comparison_ops,
+        value=st.integers(-5, 35),
+        hash_index=st.booleans(),
+        value_tree=st.booleans(),
+    )
+    def test_single_comparison(
+        self, rows, field, op, value, hash_index, value_tree
+    ):
+        db = build_db(rows, hash_index, value_tree)
+        predicate = Comparison(field, op, value)
+        optimized = db.select("R", predicate)
+        assert sorted(optimized.materialize()) == brute_force(db, predicate)
+
+    @LEAN
+    @given(
+        rows=rows_strategy,
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["k", "v"]),
+                comparison_ops,
+                st.integers(-5, 35),
+            ),
+            min_size=2,
+            max_size=4,
+        ),
+        value_tree=st.booleans(),
+    )
+    def test_conjunction(self, rows, ops, value_tree):
+        db = build_db(rows, with_value_tree=value_tree)
+        predicate = Conjunction(
+            tuple(Comparison(f, o, v) for f, o, v in ops)
+        )
+        optimized = db.select("R", predicate)
+        assert sorted(optimized.materialize()) == brute_force(db, predicate)
+
+    @LEAN
+    @given(
+        rows=rows_strategy,
+        low=st.integers(-5, 35),
+        high=st.integers(-5, 35),
+    )
+    def test_between(self, rows, low, high):
+        db = build_db(rows, with_value_tree=True)
+        predicate = Comparison("v", Op.BETWEEN, low, max(low, high))
+        optimized = db.select("R", predicate)
+        assert sorted(optimized.materialize()) == brute_force(db, predicate)
+
+
+class TestJoinEquivalence:
+    @LEAN
+    @given(
+        left_rows=rows_strategy,
+        right_rows=rows_strategy,
+        indexed=st.booleans(),
+    )
+    def test_auto_join_matches_nested_loops(
+        self, left_rows, right_rows, indexed
+    ):
+        db = MainMemoryDatabase()
+        for name in ("A", "B"):
+            db.create_relation(
+                name,
+                [Field("k", FieldType.INT), Field("v", FieldType.INT)],
+                primary_key="k",
+            )
+            if indexed:
+                db.create_index(name, f"{name}_v", "v", kind="ttree")
+        for k, v in left_rows:
+            db.insert("A", [k, v])
+        for k, v in right_rows:
+            db.insert("B", [k, v])
+        auto = db.join("A", "B", on=("v", "v"), method="auto")
+        brute = db.execute(
+            JoinNode(ScanNode("A"), ScanNode("B"), "v", "v", "nested_loops")
+        )
+        assert sorted(auto.materialize()) == sorted(brute.materialize())
+
+    @LEAN
+    @given(
+        left_rows=rows_strategy,
+        right_rows=rows_strategy,
+        op=st.sampled_from(["<", "<=", ">", ">=", "!="]),
+    )
+    def test_nonequi_join_matches_brute_force(
+        self, left_rows, right_rows, op
+    ):
+        db = MainMemoryDatabase()
+        for name in ("A", "B"):
+            db.create_relation(
+                name,
+                [Field("k", FieldType.INT), Field("v", FieldType.INT)],
+                primary_key="k",
+            )
+        db.create_index("B", "B_v", "v", kind="ttree")
+        for k, v in left_rows:
+            db.insert("A", [k, v])
+        for k, v in right_rows:
+            db.insert("B", [k, v])
+        result = db.join("A", "B", on=("v", "v"), op=op)
+        predicate = {
+            "<": lambda a, b: a < b,
+            "<=": lambda a, b: a <= b,
+            ">": lambda a, b: a > b,
+            ">=": lambda a, b: a >= b,
+            "!=": lambda a, b: a != b,
+        }[op]
+        expected = sorted(
+            (ak, av, bk, bv)
+            for ak, av in left_rows
+            for bk, bv in right_rows
+            if predicate(av, bv)
+        )
+        got = sorted(result.materialize())
+        assert [tuple(r) for r in got] == expected

@@ -1,0 +1,185 @@
+"""Failure injection: the system degrades loudly, not silently.
+
+Corrupted disk images, missing base images, dangling pointers, invalid
+plans, misconfigured indexes — every fault surfaces as a typed exception,
+and the surviving state stays consistent.
+"""
+
+import pytest
+
+from repro import (
+    Field,
+    FieldType,
+    MainMemoryDatabase,
+    QueryError,
+    RecoveryError,
+    SchemaError,
+    StorageError,
+    eq,
+)
+from repro.errors import (
+    DanglingPointerError,
+    HeapOverflowError,
+    PartitionFullError,
+    PlanError,
+    TransactionError,
+    UnsupportedOperationError,
+)
+from repro.storage.partition import Partition, PartitionConfig
+from repro.storage.tuples import TupleRef
+
+
+class TestDiskFaults:
+    def test_corrupted_disk_image_raises_on_recovery(self, durable_db):
+        durable_db.checkpoint()
+        # Corrupt one image in place.
+        key = durable_db.recovery.disk.partition_keys()[0]
+        durable_db.recovery.disk.write_partition(
+            key[0], key[1], b"\x00garbage\xff"
+        )
+        durable_db.crash()
+        with pytest.raises(Exception):  # unpickling failure surfaces
+            durable_db.recover()
+
+    def test_missing_disk_image_raises(self, durable_db):
+        durable_db.checkpoint()
+        with pytest.raises(RecoveryError):
+            durable_db.recovery.disk.read_partition("Employee", 999)
+
+    def test_recovering_unknown_working_set_raises(self, durable_db):
+        durable_db.checkpoint()
+        durable_db.crash()
+        with pytest.raises(RecoveryError):
+            durable_db.recover(working_set=[("Nonexistent", 0)])
+
+
+class TestStorageFaults:
+    def test_dangling_pointer_read(self, figure1_db):
+        relation = figure1_db.relation("Employee")
+        ref = relation.index("Employee_pk").search(23)
+        relation.delete(ref)
+        with pytest.raises(DanglingPointerError):
+            relation.fetch(ref)
+
+    def test_pointer_into_unknown_partition(self, figure1_db):
+        relation = figure1_db.relation("Employee")
+        with pytest.raises(StorageError):
+            relation.fetch(TupleRef(999, 0))
+
+    def test_oversized_tuple_rejected_cleanly(self):
+        db = MainMemoryDatabase()
+        from repro.storage.partition import PartitionConfig
+
+        db.create_relation(
+            "Tiny",
+            [Field("k", FieldType.INT), Field("s", FieldType.STR)],
+            partition_config=PartitionConfig(slot_capacity=4,
+                                             heap_capacity=16),
+        )
+        with pytest.raises(HeapOverflowError):
+            db.insert("Tiny", [1, "x" * 1000])
+        # The failed insert left nothing behind.
+        assert len(db.select("Tiny")) == 0
+
+    def test_partition_full_is_isolated(self):
+        part = Partition(0, PartitionConfig(slot_capacity=1,
+                                            heap_capacity=64))
+        part.insert([1])
+        with pytest.raises(PartitionFullError):
+            part.insert([2])
+        assert part.live_tuples == 1
+
+
+class TestQueryFaults:
+    def test_plan_against_dropped_relation(self, figure1_db):
+        from repro.errors import CatalogError
+        from repro.query.plan import ScanNode
+
+        with pytest.raises(CatalogError):
+            figure1_db.execute(ScanNode("Ghost"))
+
+    def test_range_scan_on_hash_index_rejected(self, figure1_db):
+        figure1_db.create_index(
+            "Employee", "age_hash", "Age", kind="chained_hash"
+        )
+        from repro.query.select import select_tree_range
+
+        with pytest.raises(UnsupportedOperationError):
+            select_tree_range(
+                figure1_db.relation("Employee").index("age_hash"), 1, 2
+            )
+
+    def test_projection_of_unknown_column(self, figure1_db):
+        result = figure1_db.select("Employee")
+        with pytest.raises(QueryError):
+            figure1_db.project(result, ["Salary"])
+
+    def test_sql_syntax_error_is_catchable(self, figure1_db):
+        from repro.sql.lexer import SQLSyntaxError
+
+        with pytest.raises(SQLSyntaxError):
+            figure1_db.sql("SELEKT * FROM Employee")
+
+    def test_sql_unknown_table(self, figure1_db):
+        from repro.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            figure1_db.sql("SELECT * FROM Ghost")
+
+
+class TestTransactionFaults:
+    def test_volatile_db_rejects_recovery_calls(self, figure1_db):
+        for call in (
+            figure1_db.checkpoint,
+            figure1_db.crash,
+            figure1_db.recover,
+            figure1_db.finish_recovery,
+        ):
+            with pytest.raises(TransactionError):
+                call()
+
+    def test_commit_failure_compensates_and_logs_nothing(self, durable_db):
+        durable_db.checkpoint()
+        log = durable_db.recovery.stable_log
+        records_before = log.records_written
+        txn = durable_db.begin()
+        durable_db.insert("Employee", ["Ok", 77, 30, 455], txn=txn)
+        durable_db.insert("Employee", ["Dup", 23, 30, 455], txn=txn)  # PK dup
+        from repro.errors import DuplicateKeyError
+
+        with pytest.raises(DuplicateKeyError):
+            txn.commit()
+        # Memory state restored...
+        assert len(durable_db.select("Employee", eq("Id", 77))) == 0
+        # ...and the aborted transaction's records were discarded, so a
+        # crash+recover reproduces the same clean state.
+        durable_db.crash()
+        durable_db.recover()
+        assert len(durable_db.select("Employee", eq("Id", 77))) == 0
+        assert len(durable_db.select("Employee")) == 5
+
+    def test_lock_after_abort_rejected(self, figure1_db):
+        txn = figure1_db.begin()
+        txn.abort()
+        from repro.errors import TransactionAborted
+
+        with pytest.raises(TransactionAborted):
+            figure1_db.insert("Employee", ["X", 90, 30, 455], txn=txn)
+
+
+class TestSchemaFaults:
+    def test_create_duplicate_relation(self, figure1_db):
+        from repro.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            figure1_db.create_relation(
+                "Employee", [Field("x", FieldType.INT)]
+            )
+
+    def test_index_on_unknown_field(self, figure1_db):
+        with pytest.raises(SchemaError):
+            figure1_db.create_index("Employee", "bad", "Salary")
+
+    def test_multiattr_index_with_unknown_component(self, figure1_db):
+        with pytest.raises(SchemaError):
+            figure1_db.create_index("Employee", "bad", ["Name", "Salary"])

@@ -1,0 +1,98 @@
+"""Tests for foreign-key-aware predicate rewriting.
+
+A foreign-key column physically stores a tuple pointer (Section 2.1), so
+naive literal comparisons against it would never match; the engine
+rewrites them to pointer equality (preserving index lookups) or to
+follow-the-pointer value comparisons.
+"""
+
+import pytest
+
+from repro import eq, ge, gt, le, lt, ne
+from repro.storage.tuples import TupleRef
+from tests.conftest import EMPLOYEES
+
+
+class TestEqualityRewriting:
+    def test_eq_on_fk_column_matches_value(self, figure1_db):
+        result = figure1_db.select("Employee", eq("Dept_Id", 459))
+        names = {d["Name"] for d in result.to_dicts()}
+        assert names == {"Dave", "Suzan"}
+
+    def test_eq_on_missing_fk_value_matches_nothing(self, figure1_db):
+        result = figure1_db.select("Employee", eq("Dept_Id", 99999))
+        assert len(result) == 0
+
+    def test_eq_with_explicit_pointer_still_works(self, figure1_db):
+        dept_ref = figure1_db.relation("Department").index(
+            "Department_pk"
+        ).search(459)
+        result = figure1_db.select("Employee", eq("Dept_Id", dept_ref))
+        assert len(result) == 2
+
+    def test_conjunction_with_fk_part(self, figure1_db):
+        result = figure1_db.select(
+            "Employee", eq("Dept_Id", 459) & gt("Age", 25)
+        )
+        assert [d["Name"] for d in result.to_dicts()] == ["Suzan"]
+
+    def test_fk_index_lookup_used_when_available(self, figure1_db):
+        # A hash index on the FK pointer column serves the rewritten
+        # pointer-equality predicate.
+        figure1_db.create_index(
+            "Employee", "by_dept", "Dept_Id", kind="chained_hash"
+        )
+        plan = figure1_db.optimizer.plan_selection(
+            "Employee",
+            figure1_db._rewrite_fk_predicate("Employee", eq("Dept_Id", 459)),
+        )
+        assert "IndexLookup" in plan.explain()
+        result = figure1_db.select("Employee", eq("Dept_Id", 459))
+        assert len(result) == 2
+
+
+class TestOrderedRewriting:
+    def test_range_on_fk_follows_pointer(self, figure1_db):
+        # Departments with Id >= 411: Toy(459), Linen(411) -> 4 employees.
+        result = figure1_db.select("Employee", ge("Dept_Id", 411))
+        names = {d["Name"] for d in result.to_dicts()}
+        assert names == {"Dave", "Suzan", "Yaman", "Jane"}
+
+    def test_lt_on_fk(self, figure1_db):
+        result = figure1_db.select("Employee", lt("Dept_Id", 411))
+        assert {d["Name"] for d in result.to_dicts()} == {"Cindy"}
+
+    def test_ne_on_fk(self, figure1_db):
+        result = figure1_db.select("Employee", ne("Dept_Id", 459))
+        assert len(result) == len(EMPLOYEES) - 2
+
+    def test_null_fk_never_matches(self, figure1_db):
+        figure1_db.insert("Employee", ["NoDept", 99, 30, None])
+        for predicate in (le("Dept_Id", 10**9), ne("Dept_Id", 459)):
+            names = {
+                d["Name"]
+                for d in figure1_db.select("Employee", predicate).to_dicts()
+            }
+            assert "NoDept" not in names
+
+
+class TestThroughSQL:
+    def test_sql_where_on_fk(self, figure1_db):
+        count = figure1_db.sql(
+            "SELECT COUNT(*) FROM Employee WHERE Dept_Id = 459"
+        ).to_dicts()[0]["count(*)"]
+        assert count == 2
+
+    def test_sql_delete_on_fk(self, figure1_db):
+        removed = figure1_db.sql(
+            "DELETE FROM Employee WHERE Dept_Id = 411"
+        )
+        assert removed == 2
+        assert len(figure1_db.select("Employee")) == len(EMPLOYEES) - 2
+
+    def test_sql_join_predicate_on_fk(self, figure1_db):
+        rows = figure1_db.sql(
+            "SELECT Employee.Name FROM Employee JOIN Department "
+            "ON Dept_Id = Id WHERE Dept_Id = 409"
+        ).materialize()
+        assert rows == [("Cindy",)]

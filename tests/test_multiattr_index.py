@@ -1,0 +1,130 @@
+"""Tests for multi-attribute indexes (paper Section 2.2).
+
+"Since a single tuple pointer provides access to any field in the tuple,
+multi-attribute indices will need less in the way of special mechanisms."
+"""
+
+import pytest
+
+from repro import DuplicateKeyError, Field, FieldType, MainMemoryDatabase
+from repro.query.select import select_tree_range
+
+
+@pytest.fixture
+def db():
+    database = MainMemoryDatabase()
+    database.create_relation(
+        "Person",
+        [
+            Field("Id", FieldType.INT),
+            Field("Last", FieldType.STR),
+            Field("First", FieldType.STR),
+            Field("Age", FieldType.INT),
+        ],
+        primary_key="Id",
+    )
+    people = [
+        (1, "Smith", "Alice", 30),
+        (2, "Smith", "Bob", 25),
+        (3, "Jones", "Alice", 40),
+        (4, "Jones", "Carol", 35),
+        (5, "Adams", "Dave", 50),
+    ]
+    for row in people:
+        database.insert("Person", list(row))
+    return database
+
+
+class TestCreation:
+    def test_composite_keys_are_field_tuples(self, db):
+        index = db.create_index(
+            "Person", "name_idx", ["Last", "First"], kind="ttree"
+        )
+        assert index.field_name == ("Last", "First")
+        assert index.search(("Smith", "Bob")) is not None
+        assert index.search(("Smith", "Zed")) is None
+
+    def test_backfills_existing_tuples(self, db):
+        index = db.create_index("Person", "la", ["Last", "Age"])
+        assert len(index) == 5
+
+    def test_unique_composite(self, db):
+        db.create_index(
+            "Person", "name_u", ["Last", "First"], kind="ttree", unique=True
+        )
+        with pytest.raises(DuplicateKeyError):
+            db.insert("Person", [6, "Smith", "Bob", 99])
+        # Different first name is fine.
+        db.insert("Person", [7, "Smith", "Carol", 99])
+
+    def test_hash_composite(self, db):
+        index = db.create_index(
+            "Person", "name_h", ["Last", "First"], kind="chained_hash"
+        )
+        ref = index.search(("Jones", "Carol"))
+        assert db.fetch("Person", ref)["Id"] == 4
+
+
+class TestOrderedComposite:
+    def test_lexicographic_scan_order(self, db):
+        index = db.create_index(
+            "Person", "name_idx", ["Last", "First"], kind="ttree"
+        )
+        keys = [index.key_of(ref) for ref in index.scan()]
+        assert keys == sorted(keys)
+        assert keys[0][0] == "Adams"
+
+    def test_prefix_range_scan(self, db):
+        # All Smiths: range over ("Smith", "") .. ("Smith", "￿").
+        index = db.create_index(
+            "Person", "name_idx", ["Last", "First"], kind="ttree"
+        )
+        refs = select_tree_range(
+            index, ("Smith", ""), ("Smith", "￿")
+        )
+        ids = sorted(db.fetch("Person", r)["Id"] for r in refs)
+        assert ids == [1, 2]
+
+
+class TestMaintenance:
+    def test_update_of_component_field_maintains_index(self, db):
+        index = db.create_index(
+            "Person", "name_idx", ["Last", "First"], kind="ttree"
+        )
+        ref = db.relation("Person").index("Person_pk").search(2)
+        db.update("Person", ref, "First", "Bert")
+        assert index.search(("Smith", "Bob")) is None
+        assert index.search(("Smith", "Bert")) is not None
+
+    def test_update_of_unrelated_field_leaves_index_alone(self, db):
+        index = db.create_index(
+            "Person", "name_idx", ["Last", "First"], kind="ttree"
+        )
+        ref = db.relation("Person").index("Person_pk").search(2)
+        db.update("Person", ref, "Age", 26)
+        assert index.search(("Smith", "Bob")) is not None
+
+    def test_delete_maintains_index(self, db):
+        index = db.create_index(
+            "Person", "name_idx", ["Last", "First"], kind="ttree"
+        )
+        ref = db.relation("Person").index("Person_pk").search(3)
+        db.delete("Person", ref)
+        assert index.search(("Jones", "Alice")) is None
+
+    def test_rebuild_after_recovery(self):
+        database = MainMemoryDatabase(durable=True)
+        database.create_relation(
+            "T",
+            [Field("a", FieldType.INT), Field("b", FieldType.INT)],
+            primary_key="a",
+        )
+        database.create_index("T", "ab", ["a", "b"], kind="ttree")
+        for i in range(10):
+            database.insert("T", [i, i * 2])
+        database.checkpoint()
+        database.crash()
+        database.recover()
+        index = database.relation("T").index("ab")
+        assert index.search((3, 6)) is not None
+        assert len(index) == 10

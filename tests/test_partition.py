@@ -1,0 +1,254 @@
+"""Unit tests for partitions: slots, heap space, forwarding, serialization."""
+
+import pytest
+
+from repro.errors import (
+    DanglingPointerError,
+    HeapOverflowError,
+    PartitionFullError,
+    StorageError,
+)
+from repro.storage.partition import Partition, PartitionConfig
+from repro.storage.tuples import TupleRef
+
+
+def make_partition(slots=8, heap=256) -> Partition:
+    return Partition(0, PartitionConfig(slot_capacity=slots, heap_capacity=heap))
+
+
+class TestInsertRead:
+    def test_roundtrip_fixed_fields(self):
+        part = make_partition()
+        slot = part.insert([1, 2.5, None])
+        assert part.read(slot) == [1, 2.5, None]
+
+    def test_roundtrip_string_via_heap(self):
+        part = make_partition()
+        slot = part.insert(["hello", 7])
+        assert part.read(slot) == ["hello", 7]
+        assert part.heap_free < part.config.heap_capacity
+
+    def test_read_field_single_position(self):
+        part = make_partition()
+        slot = part.insert(["alpha", 42])
+        assert part.read_field(slot, 0) == "alpha"
+        assert part.read_field(slot, 1) == 42
+
+    def test_unicode_strings_roundtrip(self):
+        part = make_partition()
+        slot = part.insert(["héllo wörld ☃"])
+        assert part.read(slot) == ["héllo wörld ☃"]
+
+    def test_live_tuples_counts(self):
+        part = make_partition()
+        part.insert([1])
+        part.insert([2])
+        assert part.live_tuples == 2
+
+    def test_slot_capacity_enforced(self):
+        part = make_partition(slots=2)
+        part.insert([1])
+        part.insert([2])
+        with pytest.raises(PartitionFullError):
+            part.insert([3])
+
+    def test_heap_capacity_enforced(self):
+        part = make_partition(heap=10)
+        with pytest.raises(HeapOverflowError):
+            part.insert(["x" * 100])
+
+    def test_slot_reuse_after_delete(self):
+        part = make_partition(slots=2)
+        slot = part.insert([1])
+        part.insert([2])
+        part.delete(slot)
+        reused = part.insert([3])
+        assert reused == slot
+
+    def test_has_room_checks_both_resources(self):
+        part = make_partition(slots=1, heap=10)
+        assert part.has_room(5)
+        assert not part.has_room(50)
+        part.insert([1])
+        assert not part.has_room(0)
+
+
+class TestUpdate:
+    def test_update_fixed_field(self):
+        part = make_partition()
+        slot = part.insert([1, 2])
+        part.update_field(slot, 1, 99)
+        assert part.read(slot) == [1, 99]
+
+    def test_update_string_in_place_when_shorter(self):
+        part = make_partition()
+        slot = part.insert(["longvalue"])
+        used_before = part.config.heap_capacity - part.heap_free
+        part.update_field(slot, 0, "tiny")
+        assert part.read(slot) == ["tiny"]
+        # Shrinking reuses the existing heap region.
+        assert part.config.heap_capacity - part.heap_free == used_before
+
+    def test_update_string_growth_restores_elsewhere(self):
+        part = make_partition()
+        slot = part.insert(["ab"])
+        part.update_field(slot, 0, "much longer value")
+        assert part.read(slot) == ["much longer value"]
+
+    def test_update_overflowing_heap_raises(self):
+        part = make_partition(heap=16)
+        slot = part.insert(["12345678"])
+        with pytest.raises(HeapOverflowError):
+            part.update_field(slot, 0, "x" * 15)
+
+    def test_version_bumps_on_mutation(self):
+        part = make_partition()
+        v0 = part.version
+        slot = part.insert([1])
+        v1 = part.version
+        part.update_field(slot, 0, 2)
+        v2 = part.version
+        part.delete(slot)
+        assert v0 < v1 < v2 < part.version
+
+
+class TestDeleteAndDangling:
+    def test_delete_then_read_raises(self):
+        part = make_partition()
+        slot = part.insert([1])
+        part.delete(slot)
+        with pytest.raises(DanglingPointerError):
+            part.read(slot)
+
+    def test_double_delete_raises(self):
+        part = make_partition()
+        slot = part.insert([1])
+        part.delete(slot)
+        with pytest.raises(DanglingPointerError):
+            part.delete(slot)
+
+    def test_out_of_range_slot_raises(self):
+        part = make_partition()
+        with pytest.raises(DanglingPointerError):
+            part.read(5)
+
+
+class TestForwarding:
+    def test_forwarding_address_recorded(self):
+        part = make_partition()
+        slot = part.insert([1])
+        target = TupleRef(1, 0)
+        part.set_forwarding(slot, target)
+        assert part.forwarding(slot) == target
+
+    def test_forwarded_slot_not_readable_directly(self):
+        part = make_partition()
+        slot = part.insert([1])
+        part.set_forwarding(slot, TupleRef(1, 0))
+        with pytest.raises(StorageError):
+            part.read(slot)
+
+    def test_forwarding_excluded_from_live_count(self):
+        part = make_partition()
+        slot = part.insert([1])
+        part.insert([2])
+        part.set_forwarding(slot, TupleRef(1, 0))
+        assert part.live_tuples == 1
+
+    def test_normal_slot_has_no_forwarding(self):
+        part = make_partition()
+        slot = part.insert([1])
+        assert part.forwarding(slot) is None
+
+
+class TestScan:
+    def test_scan_yields_live_rows_only(self):
+        part = make_partition()
+        a = part.insert(["a"])
+        b = part.insert(["b"])
+        c = part.insert(["c"])
+        part.delete(b)
+        part.set_forwarding(c, TupleRef(1, 0))
+        rows = dict(part.scan())
+        assert rows == {a: ["a"]}
+
+
+class TestInsertAt:
+    def test_insert_at_specific_slot(self):
+        part = make_partition()
+        part.insert_at(3, ["x", 1])
+        assert part.read(3) == ["x", 1]
+        assert part.live_tuples == 1
+
+    def test_insert_at_occupied_slot_raises(self):
+        part = make_partition()
+        slot = part.insert([1])
+        with pytest.raises(StorageError):
+            part.insert_at(slot, [2])
+
+    def test_insert_at_leaves_earlier_slots_free(self):
+        part = make_partition()
+        part.insert_at(2, [1])
+        # Slots 0 and 1 remain free for ordinary inserts.
+        a = part.insert([10])
+        b = part.insert([11])
+        assert {a, b} == {0, 1}
+
+
+class TestCompact:
+    def test_compact_reclaims_abandoned_heap(self):
+        part = make_partition(heap=64)
+        slot = part.insert(["abcdefgh"])
+        for __ in range(3):
+            part.update_field(slot, 0, "abcdefgh!")  # grows, abandons old
+            part.update_field(slot, 0, "abcdefgh")
+        free_before = part.heap_free
+        part.compact()
+        assert part.heap_free > free_before
+        assert part.read(slot) == ["abcdefgh"]
+
+    def test_compact_preserves_all_rows(self):
+        part = make_partition()
+        slots = [part.insert([f"value-{i}", i]) for i in range(5)]
+        part.compact()
+        for i, slot in enumerate(slots):
+            assert part.read(slot) == [f"value-{i}", i]
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_rows(self):
+        part = make_partition()
+        a = part.insert(["hello", 1])
+        b = part.insert(["world", 2])
+        part.delete(a)
+        clone = Partition.from_bytes(part.to_bytes())
+        assert clone.read(b) == ["world", 2]
+        assert clone.live_tuples == 1
+        assert clone.version == part.version
+
+    def test_roundtrip_preserves_forwarding(self):
+        part = make_partition()
+        slot = part.insert([1])
+        part.set_forwarding(slot, TupleRef(7, 3))
+        clone = Partition.from_bytes(part.to_bytes())
+        assert clone.forwarding(slot) == TupleRef(7, 3)
+
+    def test_roundtrip_preserves_free_slots(self):
+        part = make_partition(slots=3)
+        a = part.insert([1])
+        part.insert([2])
+        part.delete(a)
+        clone = Partition.from_bytes(part.to_bytes())
+        assert clone.insert([9]) == a  # reuses the freed slot
+
+    def test_roundtrip_preserves_config(self):
+        part = make_partition(slots=5, heap=128)
+        clone = Partition.from_bytes(part.to_bytes())
+        assert clone.config == PartitionConfig(5, 128)
+
+    def test_clone_mutations_do_not_affect_original(self):
+        part = make_partition()
+        slot = part.insert(["orig"])
+        clone = Partition.from_bytes(part.to_bytes())
+        clone.update_field(slot, 0, "new")
+        assert part.read(slot) == ["orig"]

@@ -1,0 +1,275 @@
+"""Differential testing against a brute-force reference engine.
+
+A ~2,000-row, three-relation database is loaded identically into the
+MM-DBMS and into plain Python dictionaries.  A battery of selections,
+joins, projections, and aggregates (seeded, not hand-picked) must return
+identical answers from both.  This is the widest net in the suite: any
+divergence between index maintenance, the optimizer, the executor, or the
+SQL layer and plain set semantics fails here.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    Field,
+    FieldType,
+    ForeignKey,
+    MainMemoryDatabase,
+    between,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+    ne,
+)
+
+N_SUPPLIERS = 40
+N_PARTS = 120
+N_SHIPMENTS = 1800
+SEED = 71
+
+
+def build_dataset(rng):
+    suppliers = [
+        (sid, f"supplier-{sid}", rng.randrange(1, 6))  # (Id, Name, City)
+        for sid in range(N_SUPPLIERS)
+    ]
+    parts = [
+        (pid, f"part-{pid}", rng.randrange(1, 1000))  # (Id, Name, Weight)
+        for pid in range(N_PARTS)
+    ]
+    shipments = [
+        (
+            shid,
+            rng.randrange(N_SUPPLIERS),
+            rng.randrange(N_PARTS),
+            rng.randrange(1, 100),
+        )  # (Id, Supplier, Part, Qty)
+        for shid in range(N_SHIPMENTS)
+    ]
+    return suppliers, parts, shipments
+
+
+@pytest.fixture(scope="module")
+def world():
+    rng = random.Random(SEED)
+    suppliers, parts, shipments = build_dataset(rng)
+    db = MainMemoryDatabase()
+    db.create_relation(
+        "Supplier",
+        [
+            Field("Id", FieldType.INT),
+            Field("Name", FieldType.STR),
+            Field("City", FieldType.INT),
+        ],
+        primary_key="Id",
+    )
+    db.create_relation(
+        "Part",
+        [
+            Field("Id", FieldType.INT),
+            Field("Name", FieldType.STR),
+            Field("Weight", FieldType.INT),
+        ],
+        primary_key="Id",
+    )
+    db.create_relation(
+        "Shipment",
+        [
+            Field("Id", FieldType.INT),
+            Field("Supplier", FieldType.INT,
+                  references=ForeignKey("Supplier", "Id")),
+            Field("Part", FieldType.INT, references=ForeignKey("Part", "Id")),
+            Field("Qty", FieldType.INT),
+        ],
+        primary_key="Id",
+    )
+    # A diverse index population: T-Trees, hashes, and a composite.
+    db.create_index("Part", "part_weight", "Weight", kind="ttree")
+    db.create_index("Shipment", "ship_qty", "Qty", kind="ttree")
+    db.create_index("Shipment", "ship_supplier", "Supplier",
+                    kind="modified_linear_hash")
+    db.create_index("Supplier", "sup_city", "City", kind="extendible_hash")
+    for row in suppliers:
+        db.insert("Supplier", list(row))
+    for row in parts:
+        db.insert("Part", list(row))
+    for row in shipments:
+        db.insert("Shipment", list(row))
+    return db, suppliers, parts, shipments
+
+
+class TestSelections(object):
+    def test_point_and_range_battery(self, world):
+        db, suppliers, parts, shipments = world
+        rng = random.Random(SEED + 1)
+        for __ in range(25):
+            qty = rng.randrange(1, 100)
+            for predicate, expect in [
+                (eq("Qty", qty), [s for s in shipments if s[3] == qty]),
+                (lt("Qty", qty), [s for s in shipments if s[3] < qty]),
+                (ge("Qty", qty), [s for s in shipments if s[3] >= qty]),
+                (ne("Qty", qty), [s for s in shipments if s[3] != qty]),
+                (
+                    between("Qty", qty, min(99, qty + 10)),
+                    [s for s in shipments if qty <= s[3] <= min(99, qty + 10)],
+                ),
+            ]:
+                got = sorted(db.select("Shipment", predicate).materialize())
+                want = sorted(
+                    (s[0], s[1], s[2], s[3]) for s in expect
+                )
+                # FK fields materialise as pointers; compare id & qty cols.
+                assert [(g[0], g[3]) for g in got] == [
+                    (w[0], w[3]) for w in want
+                ]
+
+    def test_conjunction_battery(self, world):
+        db, suppliers, parts, shipments = world
+        rng = random.Random(SEED + 2)
+        for __ in range(15):
+            lo = rng.randrange(1, 90)
+            sup = rng.randrange(N_SUPPLIERS)
+            predicate = ge("Qty", lo) & eq("Supplier", sup)
+            got = db.select("Shipment", predicate)
+            want = [
+                s for s in shipments if s[3] >= lo and s[1] == sup
+            ]
+            assert len(got) == len(want)
+
+    def test_weight_ranges_on_part(self, world):
+        db, suppliers, parts, shipments = world
+        got = db.select("Part", between("Weight", 100, 500))
+        want = [p for p in parts if 100 <= p[2] <= 500]
+        assert len(got) == len(want)
+
+
+class TestJoins:
+    def test_fk_join_sizes_match(self, world):
+        db, suppliers, parts, shipments = world
+        result = db.join("Shipment", "Supplier", on=("Supplier", "Id"))
+        assert len(result) == len(shipments)
+        result = db.join("Shipment", "Part", on=("Part", "Id"))
+        assert len(result) == len(shipments)
+
+    def test_join_with_predicates_matches_reference(self, world):
+        db, suppliers, parts, shipments = world
+        result = db.join(
+            "Shipment", "Part", on=("Part", "Id"),
+            outer_predicate=ge("Qty", 90),
+            inner_predicate=lt("Weight", 300),
+        )
+        part_weight = {p[0]: p[2] for p in parts}
+        want = [
+            s for s in shipments
+            if s[3] >= 90 and part_weight[s[2]] < 300
+        ]
+        assert len(result) == len(want)
+
+    def test_value_join_on_nonkey_columns(self, world):
+        db, suppliers, parts, shipments = world
+        # City (1-5) joined against Qty would be silly; join City=City
+        # self-join on suppliers instead, brute-force checked.
+        result = db.join(
+            "Supplier", "Supplier", on=("City", "City"), method="hash"
+        )
+        cities = [s[2] for s in suppliers]
+        want = sum(1 for a in cities for b in cities if a == b)
+        assert len(result) == want
+
+    def test_three_way_sql_chain(self, world):
+        db, suppliers, parts, shipments = world
+        rows = db.sql(
+            "SELECT Shipment.Id FROM Shipment "
+            "JOIN Supplier ON Supplier = Supplier.Id "
+            "JOIN Part ON Part = Part.Id "
+            "WHERE Part.Weight < 100 AND Qty > 50"
+        ).materialize()
+        part_weight = {p[0]: p[2] for p in parts}
+        want = sorted(
+            (s[0],)
+            for s in shipments
+            if part_weight[s[2]] < 100 and s[3] > 50
+        )
+        assert sorted(rows) == want
+
+
+class TestAggregates:
+    def test_per_supplier_totals(self, world):
+        db, suppliers, parts, shipments = world
+        rows = db.sql(
+            "SELECT Supplier.Name, SUM(Qty) AS total FROM Shipment "
+            "JOIN Supplier ON Supplier = Supplier.Id "
+            "GROUP BY Supplier.Name"
+        ).to_dicts()
+        reference = {}
+        name_of = {s[0]: s[1] for s in suppliers}
+        for sh in shipments:
+            reference.setdefault(name_of[sh[1]], 0)
+            reference[name_of[sh[1]]] += sh[3]
+        assert {r["Supplier.Name"]: r["total"] for r in rows} == reference
+
+    def test_global_stats(self, world):
+        db, suppliers, parts, shipments = world
+        row = db.sql(
+            "SELECT COUNT(*) AS n, MIN(Qty) AS lo, MAX(Qty) AS hi, "
+            "AVG(Qty) AS mean FROM Shipment"
+        ).to_dicts()[0]
+        quantities = [s[3] for s in shipments]
+        assert row["n"] == len(quantities)
+        assert row["lo"] == min(quantities)
+        assert row["hi"] == max(quantities)
+        assert row["mean"] == pytest.approx(
+            sum(quantities) / len(quantities)
+        )
+
+    def test_distinct_matches_set(self, world):
+        db, suppliers, parts, shipments = world
+        distinct = db.sql("SELECT DISTINCT Qty FROM Shipment")
+        assert len(distinct) == len({s[3] for s in shipments})
+
+
+class TestMutationsKeepConsistency:
+    def test_update_delete_battery(self, world):
+        db, suppliers, parts, shipments = world
+        # Work on a private copy relation so module-scoped fixtures
+        # stay valid for other tests.
+        db.create_relation(
+            "Scratch",
+            [Field("k", FieldType.INT), Field("v", FieldType.INT)],
+            primary_key="k",
+        )
+        db.create_index("Scratch", "scratch_v", "v", kind="ttree")
+        rng = random.Random(SEED + 3)
+        model = {}
+        index = db.relation("Scratch").index("Scratch_pk")
+        for step in range(800):
+            roll = rng.random()
+            if roll < 0.5 or not model:
+                k = rng.randrange(500)
+                if k in model:
+                    continue
+                v = rng.randrange(1000)
+                db.insert("Scratch", [k, v])
+                model[k] = v
+            elif roll < 0.8:
+                k = rng.choice(list(model))
+                v = rng.randrange(1000)
+                db.update("Scratch", index.search(k), "v", v)
+                model[k] = v
+            else:
+                k = rng.choice(list(model))
+                db.delete("Scratch", index.search(k))
+                del model[k]
+        state = {
+            d["k"]: d["v"] for d in db.select("Scratch").to_dicts()
+        }
+        assert state == model
+        # The secondary index agrees too.
+        lo = 250
+        got = db.select("Scratch", ge("v", lo))
+        want = [k for k, v in model.items() if v >= lo]
+        assert len(got) == len(want)

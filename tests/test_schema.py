@@ -1,0 +1,120 @@
+"""Unit tests for schemas, field types, and foreign-key declarations."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.schema import Field, FieldType, ForeignKey, Schema
+
+
+class TestFieldType:
+    def test_inline_bytes_follow_era_sizes(self):
+        assert FieldType.INT.inline_bytes == 4
+        assert FieldType.FLOAT.inline_bytes == 8
+        assert FieldType.STR.inline_bytes == 6  # heap ptr + length
+        assert FieldType.REF.inline_bytes == 4  # one tuple pointer
+
+    def test_validate_accepts_matching_values(self):
+        FieldType.INT.validate(42)
+        FieldType.FLOAT.validate(3.14)
+        FieldType.FLOAT.validate(3)  # ints satisfy float columns
+        FieldType.STR.validate("hello")
+
+    def test_validate_accepts_none_everywhere(self):
+        for field_type in FieldType:
+            field_type.validate(None)
+
+    def test_validate_rejects_wrong_types(self):
+        with pytest.raises(SchemaError):
+            FieldType.INT.validate("nope")
+        with pytest.raises(SchemaError):
+            FieldType.STR.validate(7)
+        with pytest.raises(SchemaError):
+            FieldType.FLOAT.validate("1.5")
+
+
+class TestField:
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Field("", FieldType.INT)
+
+    def test_foreign_key_on_ref_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Field("d", FieldType.REF, references=ForeignKey("Dept", "Id"))
+
+    def test_foreign_key_declaration(self):
+        field = Field(
+            "Dept_Id", FieldType.INT, references=ForeignKey("Department", "Id")
+        )
+        assert field.references.relation == "Department"
+        assert field.references.field == "Id"
+
+
+class TestSchema:
+    def _schema(self) -> Schema:
+        return Schema(
+            [
+                Field("Name", FieldType.STR),
+                Field("Id", FieldType.INT),
+                Field(
+                    "Dept_Id",
+                    FieldType.INT,
+                    references=ForeignKey("Department", "Id"),
+                ),
+            ]
+        )
+
+    def test_requires_at_least_one_field(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Field("x", FieldType.INT), Field("x", FieldType.INT)])
+
+    def test_names_in_order(self):
+        assert self._schema().names == ["Name", "Id", "Dept_Id"]
+
+    def test_position_lookup(self):
+        schema = self._schema()
+        assert schema.position("Name") == 0
+        assert schema.position("Dept_Id") == 2
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(SchemaError):
+            self._schema().field("Nope")
+        with pytest.raises(SchemaError):
+            self._schema().position("Nope")
+
+    def test_foreign_keys_listed(self):
+        fks = self._schema().foreign_keys()
+        assert [f.name for f in fks] == ["Dept_Id"]
+
+    def test_physical_converts_fk_to_ref(self):
+        physical = self._schema().physical()
+        assert physical.field("Dept_Id").type is FieldType.REF
+        assert physical.field("Name").type is FieldType.STR
+
+    def test_fixed_slot_bytes(self):
+        # STR(6) + INT(4) + REF(4) = 14 under the physical layout.
+        assert self._schema().fixed_slot_bytes() == 14
+
+    def test_validate_row_checks_arity(self):
+        with pytest.raises(SchemaError):
+            self._schema().validate_row(["x", 1])
+
+    def test_validate_row_checks_types(self):
+        with pytest.raises(SchemaError):
+            self._schema().validate_row([1, 1, 1])
+
+    def test_validate_row_accepts_good_row(self):
+        self._schema().validate_row(["Dave", 23, 459])
+
+    def test_equality_by_fields(self):
+        assert self._schema() == self._schema()
+        other = Schema([Field("Name", FieldType.STR)])
+        assert self._schema() != other
+
+    def test_len_and_iter(self):
+        schema = self._schema()
+        assert len(schema) == 3
+        assert [f.name for f in schema] == schema.names

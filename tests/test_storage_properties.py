@@ -1,0 +1,133 @@
+"""Property tests for the storage layer.
+
+Partitions must round-trip through serialization under any operation
+sequence, and relations must behave exactly like a dict-of-rows model
+under random CRUD — including heap-overflow relocations with forwarding
+addresses.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HeapOverflowError, PartitionFullError
+from repro.storage.partition import Partition, PartitionConfig
+from repro.storage.relation import Relation
+from repro.storage.schema import Field, FieldType, Schema
+
+LEAN = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# Partition ops: (0=insert values, 1=delete slot_choice,
+#                 2=update slot_choice value)
+partition_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just(0),
+            st.integers(-100, 100),
+            st.text(
+                alphabet="abcdefg", min_size=0, max_size=6
+            ),
+        ),
+        st.tuples(st.just(1), st.integers(0, 30)),
+        st.tuples(st.just(2), st.integers(0, 30), st.integers(-100, 100)),
+    ),
+    max_size=60,
+)
+
+
+class TestPartitionSerializationProperty:
+    @LEAN
+    @given(ops=partition_ops)
+    def test_roundtrip_after_any_history(self, ops):
+        part = Partition(0, PartitionConfig(slot_capacity=24,
+                                            heap_capacity=512))
+        live = {}
+        for op in ops:
+            try:
+                if op[0] == 0:
+                    slot = part.insert([op[1], op[2]])
+                    live[slot] = [op[1], op[2]]
+                elif op[0] == 1 and live:
+                    slot = sorted(live)[op[1] % len(live)]
+                    part.delete(slot)
+                    del live[slot]
+                elif op[0] == 2 and live:
+                    slot = sorted(live)[op[1] % len(live)]
+                    part.update_field(slot, 0, op[2])
+                    live[slot][0] = op[2]
+            except (PartitionFullError, HeapOverflowError):
+                continue
+        clone = Partition.from_bytes(part.to_bytes())
+        assert clone.live_tuples == part.live_tuples == len(live)
+        for slot, row in live.items():
+            assert clone.read(slot) == row
+        assert dict(clone.scan()) == dict(part.scan())
+
+
+relation_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("insert"),
+            st.integers(0, 40),
+            st.text(alphabet="xyz", min_size=0, max_size=12),
+        ),
+        st.tuples(st.just("delete"), st.integers(0, 40)),
+        st.tuples(
+            st.just("update"),
+            st.integers(0, 40),
+            st.text(alphabet="xyz", min_size=0, max_size=24),
+        ),
+    ),
+    max_size=80,
+)
+
+
+class TestRelationModelProperty:
+    @LEAN
+    @given(ops=relation_ops)
+    def test_relation_matches_dict_model(self, ops):
+        schema = Schema(
+            [Field("k", FieldType.INT), Field("s", FieldType.STR)]
+        )
+        # Tiny partitions force allocation, relocation, and forwarding.
+        relation = Relation(
+            "R", schema, PartitionConfig(slot_capacity=4, heap_capacity=48)
+        )
+        relation.create_index("pk", "k", unique=True)
+        model = {}
+        refs = {}
+        for op in ops:
+            kind, key = op[0], op[1]
+            if kind == "insert":
+                if key in model:
+                    continue
+                refs[key] = relation.insert([key, op[2]])
+                model[key] = op[2]
+            elif kind == "delete":
+                if key not in model:
+                    continue
+                relation.delete(refs.pop(key))
+                del model[key]
+            else:  # update (may relocate + forward)
+                if key not in model:
+                    continue
+                try:
+                    relation.update(refs[key], "s", op[2])
+                except HeapOverflowError:
+                    continue  # no partition could host it; state unchanged
+                model[key] = op[2]
+        assert len(relation) == len(model)
+        index = relation.index("pk")
+        for key, value in model.items():
+            found = index.search(key)
+            assert found is not None
+            assert relation.read_field(found, "s") == value
+            # The originally returned ref stays valid through forwarding.
+            assert relation.read_field(refs[key], "s") == value
+        # Index scan sees exactly the model's keys, in order.
+        scanned = [relation.read_field(r, "k") for r in index.scan()]
+        assert scanned == sorted(model)

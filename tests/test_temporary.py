@@ -1,0 +1,143 @@
+"""Unit tests for temporary lists and result descriptors (Section 2.3)."""
+
+import pytest
+
+from repro.errors import QueryError, SchemaError
+from repro.storage.partition import PartitionConfig
+from repro.storage.relation import Relation
+from repro.storage.schema import Field, FieldType, Schema
+from repro.storage.temporary import (
+    ResultColumn,
+    ResultDescriptor,
+    TemporaryList,
+)
+
+
+@pytest.fixture
+def relation() -> Relation:
+    schema = Schema([Field("k", FieldType.INT), Field("s", FieldType.STR)])
+    rel = Relation("R", schema, PartitionConfig(16, 1024))
+    rel.create_index("R_pk", "k", unique=True)
+    for i in range(5):
+        rel.insert([i, f"v{i}"])
+    return rel
+
+
+def refs_of(relation):
+    return list(relation.index("R_pk").scan())
+
+
+class TestResultDescriptor:
+    def test_requires_sources(self):
+        with pytest.raises(QueryError):
+            ResultDescriptor([], [])
+
+    def test_validates_source_indices(self, relation):
+        with pytest.raises(QueryError):
+            ResultDescriptor([relation], [ResultColumn(1, "k")])
+
+    def test_validates_field_names(self, relation):
+        with pytest.raises(SchemaError):
+            ResultDescriptor([relation], [ResultColumn(0, "zzz")])
+
+    def test_duplicate_output_names_rejected(self, relation):
+        with pytest.raises(QueryError):
+            ResultDescriptor(
+                [relation],
+                [ResultColumn(0, "k"), ResultColumn(0, "s", label="k")],
+            )
+
+    def test_whole_relation_exposes_all_fields(self, relation):
+        desc = ResultDescriptor.whole_relation(relation)
+        assert desc.column_names == ["k", "s"]
+
+    def test_labels_override_names(self, relation):
+        desc = ResultDescriptor(
+            [relation], [ResultColumn(0, "k", label="key")]
+        )
+        assert desc.column_names == ["key"]
+        assert desc.column("key").field == "k"
+
+    def test_project_narrows(self, relation):
+        desc = ResultDescriptor.whole_relation(relation).project(["s"])
+        assert desc.column_names == ["s"]
+
+    def test_project_unknown_column_raises(self, relation):
+        with pytest.raises(QueryError):
+            ResultDescriptor.whole_relation(relation).project(["nope"])
+
+
+class TestTemporaryList:
+    def test_direct_traversal_allowed(self, relation):
+        tl = TemporaryList.from_refs(relation, refs_of(relation))
+        assert len(tl) == 5
+        assert len(list(tl)) == 5
+        assert tl[0] == list(tl)[0]
+
+    def test_append_checks_arity(self, relation):
+        tl = TemporaryList.from_refs(relation, [])
+        ref = refs_of(relation)[0]
+        tl.append((ref,))
+        with pytest.raises(QueryError):
+            tl.append((ref, ref))
+
+    def test_materialize_follows_pointers(self, relation):
+        tl = TemporaryList.from_refs(relation, refs_of(relation))
+        values = tl.materialize()
+        assert sorted(values) == [(i, f"v{i}") for i in range(5)]
+
+    def test_to_dicts(self, relation):
+        tl = TemporaryList.from_refs(relation, refs_of(relation)[:1])
+        assert tl.to_dicts() == [{"k": 0, "s": "v0"}]
+
+    def test_projection_shares_rows_zero_copy(self, relation):
+        tl = TemporaryList.from_refs(relation, refs_of(relation))
+        narrow = tl.project(["s"])
+        assert narrow.rows() is tl.rows()  # no width reduction, no copy
+        assert narrow.descriptor.column_names == ["s"]
+
+    def test_projection_sees_later_appends(self, relation):
+        tl = TemporaryList.from_refs(relation, [])
+        narrow = tl.project(["s"])
+        tl.append((refs_of(relation)[0],))
+        assert len(narrow) == 1
+
+    def test_value_extractor(self, relation):
+        tl = TemporaryList.from_refs(relation, refs_of(relation))
+        extract = tl.value_extractor("s")
+        assert {extract(row) for row in tl} == {f"v{i}" for i in range(5)}
+
+    def test_updates_to_base_relation_visible(self, relation):
+        # Pointers, not copies: mutating the base relation changes what
+        # the temporary list materialises.
+        tl = TemporaryList.from_refs(relation, refs_of(relation))
+        target = relation.index("R_pk").search(3)
+        relation.update(target, "s", "CHANGED")
+        assert ("CHANGED" in [v for __, v in tl.materialize()])
+
+
+class TestTemporaryListIndex:
+    def test_index_on_temporary_list(self, relation):
+        tl = TemporaryList.from_refs(relation, refs_of(relation))
+        idx = tl.create_index("by_s", "s", kind="chained_hash")
+        row = idx.search("v3")
+        assert tl.value_extractor("k")(row) == 3
+
+    def test_index_maintained_on_append(self, relation):
+        tl = TemporaryList.from_refs(relation, refs_of(relation)[:2])
+        idx = tl.create_index("by_s", "s")
+        extra = refs_of(relation)[4]
+        tl.append((extra,))
+        assert idx.search("v4") is not None
+
+    def test_duplicate_index_name_rejected(self, relation):
+        tl = TemporaryList.from_refs(relation, [])
+        tl.create_index("x", "s")
+        with pytest.raises(SchemaError):
+            tl.create_index("x", "s")
+
+    def test_ordered_index_on_temporary_list(self, relation):
+        tl = TemporaryList.from_refs(relation, refs_of(relation))
+        idx = tl.create_index("tree_k", "k", kind="ttree")
+        keys = [tl.value_extractor("k")(row) for row in idx.scan()]
+        assert keys == sorted(keys)

@@ -1,0 +1,73 @@
+"""Unit tests for the stopwatch / timing helpers."""
+
+import time
+
+import pytest
+
+from repro.instrument import Stopwatch, time_call
+
+
+class TestStopwatch:
+    def test_initially_stopped_and_zero(self):
+        sw = Stopwatch()
+        assert not sw.running
+        assert sw.elapsed_ns == 0
+        assert sw.elapsed_seconds == 0.0
+
+    def test_measures_elapsed_time(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.01)
+        assert sw.elapsed_seconds >= 0.009
+
+    def test_accumulates_across_runs(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.005)
+        first = sw.elapsed_ns
+        with sw:
+            time.sleep(0.005)
+        assert sw.elapsed_ns > first
+
+    def test_double_start_raises(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+        sw.stop()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset_zeroes_elapsed(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.002)
+        sw.reset()
+        assert sw.elapsed_ns == 0
+
+    def test_reset_while_running_raises(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.reset()
+        sw.stop()
+
+    def test_running_property(self):
+        sw = Stopwatch()
+        sw.start()
+        assert sw.running
+        sw.stop()
+        assert not sw.running
+
+
+class TestTimeCall:
+    def test_returns_result_and_duration(self):
+        result, elapsed = time_call(lambda x: x * 2, 21)
+        assert result == 42
+        assert elapsed >= 0.0
+
+    def test_passes_kwargs(self):
+        result, __ = time_call(divmod, 7, 3)
+        assert result == (2, 1)

@@ -1,0 +1,186 @@
+"""Tests for the partition-granularity lock manager."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeadlockError, LockTimeoutError
+from repro.txn.locks import LockManager, LockMode
+
+R0 = ("R", 0)
+R1 = ("R", 1)
+REL = ("R", None)
+
+
+class TestGrantsAndCompatibility:
+    def test_shared_locks_compatible(self):
+        lm = LockManager()
+        lm.acquire(1, R0, LockMode.SHARED)
+        lm.acquire(2, R0, LockMode.SHARED)
+        assert {t for t, __ in lm.holders(R0)} == {1, 2}
+
+    def test_exclusive_excludes_others(self):
+        lm = LockManager()
+        lm.acquire(1, R0, LockMode.EXCLUSIVE)
+        with pytest.raises(LockTimeoutError):
+            lm.acquire(2, R0, LockMode.SHARED, timeout=0.05)
+
+    def test_reacquire_is_noop(self):
+        lm = LockManager()
+        lm.acquire(1, R0, LockMode.EXCLUSIVE)
+        lm.acquire(1, R0, LockMode.EXCLUSIVE)
+        lm.acquire(1, R0, LockMode.SHARED)  # weaker request satisfied
+        assert lm.holdings(1)[R0] is LockMode.EXCLUSIVE
+
+    def test_upgrade_without_contention(self):
+        lm = LockManager()
+        lm.acquire(1, R0, LockMode.SHARED)
+        lm.acquire(1, R0, LockMode.EXCLUSIVE)
+        assert lm.holdings(1)[R0] is LockMode.EXCLUSIVE
+
+    def test_different_partitions_independent(self):
+        lm = LockManager()
+        lm.acquire(1, R0, LockMode.EXCLUSIVE)
+        lm.acquire(2, R1, LockMode.EXCLUSIVE)  # no conflict
+        assert lm.holdings(1) == {R0: LockMode.EXCLUSIVE}
+        assert lm.holdings(2) == {R1: LockMode.EXCLUSIVE}
+
+    def test_relation_level_resource_distinct_from_partitions(self):
+        lm = LockManager()
+        lm.acquire(1, REL, LockMode.EXCLUSIVE)
+        lm.acquire(2, R0, LockMode.EXCLUSIVE)  # partition lock unaffected
+        assert lm.holders(R0) == [(2, LockMode.EXCLUSIVE)]
+
+
+class TestReleaseAndWakeup:
+    def test_release_all_clears_holdings(self):
+        lm = LockManager()
+        lm.acquire(1, R0, LockMode.EXCLUSIVE)
+        lm.acquire(1, R1, LockMode.SHARED)
+        lm.release_all(1)
+        assert lm.holdings(1) == {}
+        assert lm.holders(R0) == []
+
+    def test_waiter_woken_on_release(self):
+        lm = LockManager()
+        lm.acquire(1, R0, LockMode.EXCLUSIVE)
+        acquired = threading.Event()
+
+        def contender():
+            lm.acquire(2, R0, LockMode.EXCLUSIVE, timeout=5)
+            acquired.set()
+
+        thread = threading.Thread(target=contender)
+        thread.start()
+        time.sleep(0.05)
+        assert not acquired.is_set()
+        lm.release_all(1)
+        thread.join(timeout=5)
+        assert acquired.is_set()
+
+    def test_fifo_shared_does_not_overtake_exclusive_waiter(self):
+        lm = LockManager()
+        lm.acquire(1, R0, LockMode.SHARED)
+        order = []
+
+        def writer():
+            lm.acquire(2, R0, LockMode.EXCLUSIVE, timeout=5)
+            order.append("writer")
+            time.sleep(0.05)
+            lm.release_all(2)
+
+        def reader():
+            lm.acquire(3, R0, LockMode.SHARED, timeout=5)
+            order.append("reader")
+            lm.release_all(3)
+
+        w = threading.Thread(target=writer)
+        w.start()
+        time.sleep(0.05)  # writer queues behind txn 1's S lock
+        r = threading.Thread(target=reader)
+        r.start()
+        time.sleep(0.05)
+        lm.release_all(1)
+        w.join(5)
+        r.join(5)
+        assert order == ["writer", "reader"]
+
+    def test_multiple_shared_waiters_granted_together(self):
+        lm = LockManager()
+        lm.acquire(1, R0, LockMode.EXCLUSIVE)
+        done = []
+
+        def reader(txn_id):
+            lm.acquire(txn_id, R0, LockMode.SHARED, timeout=5)
+            done.append(txn_id)
+
+        threads = [
+            threading.Thread(target=reader, args=(t,)) for t in (2, 3, 4)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        lm.release_all(1)
+        for t in threads:
+            t.join(5)
+        assert sorted(done) == [2, 3, 4]
+
+
+class TestDeadlockDetection:
+    def test_two_transaction_cycle_detected(self):
+        lm = LockManager()
+        lm.acquire(1, R0, LockMode.EXCLUSIVE)
+        lm.acquire(2, R1, LockMode.EXCLUSIVE)
+        errors = []
+
+        def t1():
+            try:
+                lm.acquire(1, R1, LockMode.EXCLUSIVE, timeout=5)
+            except DeadlockError:
+                errors.append(1)
+                lm.release_all(1)
+
+        def t2():
+            time.sleep(0.1)  # let t1 queue first
+            try:
+                lm.acquire(2, R0, LockMode.EXCLUSIVE, timeout=5)
+            except DeadlockError:
+                errors.append(2)
+                lm.release_all(2)
+
+        a, b = threading.Thread(target=t1), threading.Thread(target=t2)
+        a.start()
+        b.start()
+        a.join(5)
+        b.join(5)
+        assert errors == [2]  # the newcomer is the victim
+
+    def test_upgrade_deadlock_detected(self):
+        lm = LockManager()
+        lm.acquire(1, R0, LockMode.SHARED)
+        lm.acquire(2, R0, LockMode.SHARED)
+        victim = []
+
+        def upgrade(txn_id, delay):
+            time.sleep(delay)
+            try:
+                lm.acquire(txn_id, R0, LockMode.EXCLUSIVE, timeout=5)
+            except DeadlockError:
+                victim.append(txn_id)
+                lm.release_all(txn_id)
+
+        a = threading.Thread(target=upgrade, args=(1, 0))
+        b = threading.Thread(target=upgrade, args=(2, 0.1))
+        a.start()
+        b.start()
+        a.join(5)
+        b.join(5)
+        assert victim == [2]
+
+    def test_no_false_positive_on_chain(self):
+        # 1 -> 2 is a wait, not a cycle.
+        lm = LockManager()
+        lm.acquire(2, R0, LockMode.EXCLUSIVE)
+        with pytest.raises(LockTimeoutError):
+            lm.acquire(1, R0, LockMode.EXCLUSIVE, timeout=0.05)

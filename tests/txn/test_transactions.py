@@ -1,0 +1,188 @@
+"""Tests for transactions: deferred updates, 2PL, abort semantics."""
+
+import threading
+
+import pytest
+
+from repro import eq
+from repro.errors import (
+    DeadlockError,
+    DuplicateKeyError,
+    TransactionAborted,
+)
+from repro.txn.locks import LockMode
+from repro.txn.transaction import TransactionManager, TxnState
+
+
+class TestLifecycle:
+    def test_begin_commit(self, figure1_db):
+        txn = figure1_db.begin()
+        assert txn.active
+        txn.commit()
+        assert txn.state is TxnState.COMMITTED
+
+    def test_begin_abort(self, figure1_db):
+        txn = figure1_db.begin()
+        txn.abort()
+        assert txn.state is TxnState.ABORTED
+
+    def test_operations_after_end_rejected(self, figure1_db):
+        txn = figure1_db.begin()
+        txn.commit()
+        with pytest.raises(TransactionAborted):
+            txn.add_intention(lambda: None)
+        with pytest.raises(TransactionAborted):
+            txn.commit()
+
+    def test_context_manager_commits(self, figure1_db):
+        with figure1_db.begin() as txn:
+            figure1_db.insert("Employee", ["Zoe", 99, 31, 455], txn=txn)
+        assert len(figure1_db.select("Employee", eq("Id", 99))) == 1
+
+    def test_context_manager_aborts_on_exception(self, figure1_db):
+        with pytest.raises(RuntimeError):
+            with figure1_db.begin() as txn:
+                figure1_db.insert("Employee", ["Zoe", 99, 31, 455], txn=txn)
+                raise RuntimeError("user error")
+        assert len(figure1_db.select("Employee", eq("Id", 99))) == 0
+
+    def test_active_count_tracks(self, figure1_db):
+        manager = figure1_db.transactions
+        base = manager.active_count
+        txn = figure1_db.begin()
+        assert manager.active_count == base + 1
+        txn.commit()
+        assert manager.active_count == base
+
+
+class TestDeferredUpdates:
+    def test_insert_invisible_until_commit(self, figure1_db):
+        txn = figure1_db.begin()
+        figure1_db.insert("Employee", ["Zoe", 99, 31, 455], txn=txn)
+        assert len(figure1_db.select("Employee", eq("Id", 99))) == 0
+        txn.commit()
+        assert len(figure1_db.select("Employee", eq("Id", 99))) == 1
+
+    def test_delete_invisible_until_commit(self, figure1_db):
+        relation = figure1_db.relation("Employee")
+        ref = relation.index("Employee_pk").search(23)
+        txn = figure1_db.begin()
+        figure1_db.delete("Employee", ref, txn=txn)
+        assert len(figure1_db.select("Employee", eq("Id", 23))) == 1
+        txn.commit()
+        assert len(figure1_db.select("Employee", eq("Id", 23))) == 0
+
+    def test_update_applies_at_commit(self, figure1_db):
+        relation = figure1_db.relation("Employee")
+        ref = relation.index("Employee_pk").search(23)
+        txn = figure1_db.begin()
+        figure1_db.update("Employee", ref, "Age", 25, txn=txn)
+        assert relation.read_field(ref, "Age") == 24
+        txn.commit()
+        assert relation.read_field(ref, "Age") == 25
+
+    def test_abort_discards_intentions(self, figure1_db):
+        txn = figure1_db.begin()
+        figure1_db.insert("Employee", ["Zoe", 99, 31, 455], txn=txn)
+        assert txn.intention_count == 1
+        txn.abort()
+        assert len(figure1_db.select("Employee", eq("Id", 99))) == 0
+
+    def test_failed_intention_compensated(self, figure1_db):
+        # Duplicate key discovered at commit: the first insert applied,
+        # then gets compensated so nothing persists.
+        txn = figure1_db.begin()
+        figure1_db.insert("Employee", ["Ok", 77, 30, 455], txn=txn)
+        figure1_db.insert("Employee", ["Dup", 23, 30, 455], txn=txn)
+        with pytest.raises(DuplicateKeyError):
+            txn.commit()
+        assert txn.state is TxnState.ABORTED
+        assert len(figure1_db.select("Employee", eq("Id", 77))) == 0
+        assert len(figure1_db.select("Employee")) == 5
+
+
+class TestLockingIntegration:
+    def test_insert_locks_relation_resource(self, figure1_db):
+        txn = figure1_db.begin()
+        figure1_db.insert("Employee", ["Zoe", 99, 31, 455], txn=txn)
+        held = figure1_db.transactions.lock_manager.holdings(txn.id)
+        assert held[("Employee", None)] is LockMode.EXCLUSIVE
+        txn.commit()
+
+    def test_delete_locks_partition(self, figure1_db):
+        relation = figure1_db.relation("Employee")
+        ref = relation.index("Employee_pk").search(23)
+        txn = figure1_db.begin()
+        figure1_db.delete("Employee", ref, txn=txn)
+        held = figure1_db.transactions.lock_manager.holdings(txn.id)
+        canonical = relation.resolve(ref)
+        assert held[("Employee", canonical.partition_id)] is LockMode.EXCLUSIVE
+        txn.abort()
+
+    def test_locks_released_after_commit(self, figure1_db):
+        txn = figure1_db.begin()
+        figure1_db.insert("Employee", ["Zoe", 99, 31, 455], txn=txn)
+        txn.commit()
+        assert figure1_db.transactions.lock_manager.holdings(txn.id) == {}
+
+    def test_select_takes_shared_lock(self, figure1_db):
+        txn = figure1_db.begin()
+        figure1_db.select("Employee", txn=txn)
+        held = figure1_db.transactions.lock_manager.holdings(txn.id)
+        assert held[("Employee", None)] is LockMode.SHARED
+        txn.commit()
+
+    def test_conflicting_writers_serialize(self, figure1_db):
+        import time
+
+        results = []
+
+        def writer(emp_id, hold_seconds):
+            txn = figure1_db.begin()
+            figure1_db.insert(
+                "Employee", [f"W{emp_id}", emp_id, 30, 455], txn=txn
+            )
+            time.sleep(hold_seconds)
+            txn.commit()
+            results.append(emp_id)
+
+        # Writer 200 takes the relation X lock and holds it briefly;
+        # writer 201 must queue on the same lock until the commit.
+        first = threading.Thread(target=writer, args=(200, 0.2))
+        first.start()
+        time.sleep(0.05)
+        second = threading.Thread(target=writer, args=(201, 0.0))
+        second.start()
+        first.join(10)
+        second.join(10)
+        assert results == [200, 201]
+        assert len(figure1_db.select("Employee")) == 7
+
+
+class TestManagerStandalone:
+    def test_ids_monotone(self):
+        manager = TransactionManager()
+        a, b = manager.begin(), manager.begin()
+        assert b.id > a.id
+        a.abort()
+        b.abort()
+
+    def test_deadlock_marks_transaction_aborted(self):
+        manager = TransactionManager()
+        t1, t2 = manager.begin(), manager.begin()
+        t1.lock(("R", 0), LockMode.EXCLUSIVE)
+        t2.lock(("R", 1), LockMode.EXCLUSIVE)
+        blocked = threading.Thread(
+            target=lambda: t1.lock(("R", 1), LockMode.EXCLUSIVE)
+        )
+        blocked.start()
+        import time
+
+        time.sleep(0.1)
+        with pytest.raises(DeadlockError):
+            t2.lock(("R", 0), LockMode.EXCLUSIVE)
+        assert t2.state is TxnState.ABORTED
+        # t1 gets the lock once t2's locks are released by the abort.
+        blocked.join(5)
+        assert not blocked.is_alive()
+        t1.commit()

@@ -1,0 +1,117 @@
+"""Tests for the truncated-normal duplicate distributions (Graph 3)."""
+
+import random
+
+import pytest
+
+from repro.workloads.distributions import (
+    MODERATE_SIGMA,
+    NEAR_UNIFORM_SIGMA,
+    SKEWED_SIGMA,
+    DuplicateDistribution,
+    cumulative_tuple_share,
+    duplicate_counts,
+    expected_tuple_share,
+)
+
+
+class TestDuplicateCounts:
+    def test_counts_sum_to_total(self, rng):
+        counts = duplicate_counts(100, 1000, SKEWED_SIGMA, rng)
+        assert len(counts) == 100
+        assert sum(counts) == 1000
+
+    def test_every_value_occurs_at_least_once(self, rng):
+        counts = duplicate_counts(50, 500, SKEWED_SIGMA, rng)
+        assert min(counts) >= 1
+
+    def test_uniform_counts_differ_by_at_most_one(self, rng):
+        counts = duplicate_counts(7, 100, None, rng)
+        assert max(counts) - min(counts) <= 1
+        assert sum(counts) == 100
+
+    def test_total_equals_unique(self, rng):
+        assert duplicate_counts(10, 10, SKEWED_SIGMA, rng) == [1] * 10
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            duplicate_counts(0, 10, None, rng)
+        with pytest.raises(ValueError):
+            duplicate_counts(10, 5, None, rng)
+
+    def test_deterministic_given_seed(self):
+        a = duplicate_counts(20, 200, 0.4, random.Random(5))
+        b = duplicate_counts(20, 200, 0.4, random.Random(5))
+        assert a == b
+
+
+class TestSkewShapes:
+    """The Graph 3 cumulative curves."""
+
+    def _top_decile_share(self, sigma, rng):
+        counts = duplicate_counts(200, 20000, sigma, rng)
+        curve = cumulative_tuple_share(counts)
+        # Share of tuples held by the top 10% of values.
+        return next(share for pct, share in curve if pct >= 10.0)
+
+    def test_skewed_concentrates_tuples(self, rng):
+        # sigma=0.1: ~10% of values hold roughly two thirds of tuples.
+        share = self._top_decile_share(SKEWED_SIGMA, rng)
+        assert 55.0 <= share <= 80.0
+
+    def test_near_uniform_spreads_tuples(self, rng):
+        share = self._top_decile_share(NEAR_UNIFORM_SIGMA, rng)
+        assert share <= 30.0
+
+    def test_moderate_between_extremes(self, rng):
+        skewed = self._top_decile_share(SKEWED_SIGMA, rng)
+        moderate = self._top_decile_share(MODERATE_SIGMA, rng)
+        uniform = self._top_decile_share(NEAR_UNIFORM_SIGMA, rng)
+        assert uniform < moderate < skewed
+
+    def test_sampler_tracks_analytic_cdf(self, rng):
+        counts = duplicate_counts(500, 50000, SKEWED_SIGMA, rng)
+        curve = dict(cumulative_tuple_share(counts))
+        for fraction in (0.1, 0.3, 0.5):
+            expected = expected_tuple_share(SKEWED_SIGMA, fraction) * 100
+            measured = curve[round(fraction * 100, 1)]
+            assert measured == pytest.approx(expected, abs=8.0)
+
+
+class TestCumulativeShare:
+    def test_curve_monotone_and_complete(self, rng):
+        counts = duplicate_counts(30, 300, 0.4, rng)
+        curve = cumulative_tuple_share(counts)
+        shares = [s for __, s in curve]
+        assert shares == sorted(shares)
+        assert curve[-1] == (100.0, 100.0)
+
+    def test_empty_counts(self):
+        assert cumulative_tuple_share([]) == []
+
+
+class TestExpectedTupleShare:
+    def test_boundaries(self):
+        assert expected_tuple_share(0.1, 0.0) == 0.0
+        assert expected_tuple_share(0.1, 1.0) == pytest.approx(1.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            expected_tuple_share(0.1, 1.5)
+
+
+class TestDistributionClass:
+    def test_labels(self):
+        assert DuplicateDistribution(None).label == "uniform"
+        assert DuplicateDistribution(0.1).label == "skewed"
+        assert DuplicateDistribution(0.8).label == "near-uniform"
+        assert "0.4" in DuplicateDistribution(0.4).label
+
+    def test_sigma_validated(self):
+        with pytest.raises(ValueError):
+            DuplicateDistribution(-1.0)
+
+    def test_counts_delegates(self, rng):
+        dist = DuplicateDistribution(0.4)
+        counts = dist.counts(10, 100, rng)
+        assert sum(counts) == 100

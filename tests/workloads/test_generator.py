@@ -1,0 +1,151 @@
+"""Tests for join-pair generation and the index query-mix stream."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workloads.distributions import DuplicateDistribution
+from repro.workloads.generator import (
+    RelationSpec,
+    build_join_pair,
+    build_values,
+    query_mix_operations,
+    unique_keys,
+)
+
+
+class TestRelationSpec:
+    def test_unique_values_from_dup_percent(self):
+        assert RelationSpec(1000, 0.0).unique_values() == 1000
+        assert RelationSpec(1000, 50.0).unique_values() == 500
+        assert RelationSpec(1000, 100.0).unique_values() == 1
+        assert RelationSpec(1000, 99.95).unique_values() == 1
+
+    def test_dup_percent_validated(self):
+        with pytest.raises(ValueError):
+            RelationSpec(100, 101.0).unique_values()
+
+
+class TestUniqueKeys:
+    def test_distinct_and_sized(self, rng):
+        keys = unique_keys(1000, rng)
+        assert len(keys) == len(set(keys)) == 1000
+
+    def test_key_space_bound(self, rng):
+        keys = unique_keys(100, rng, key_space=200)
+        assert all(0 <= k < 200 for k in keys)
+
+    def test_too_small_space_rejected(self, rng):
+        with pytest.raises(ValueError):
+            unique_keys(100, rng, key_space=50)
+
+
+class TestBuildValues:
+    def test_cardinality_and_pool(self, rng):
+        spec = RelationSpec(200, 50.0, DuplicateDistribution(None))
+        pool = list(range(spec.unique_values()))
+        values = build_values(spec, pool, rng)
+        assert len(values) == 200
+        assert set(values) == set(pool)
+
+    def test_pool_size_checked(self, rng):
+        spec = RelationSpec(200, 50.0)
+        with pytest.raises(ValueError):
+            build_values(spec, [1, 2, 3], rng)
+
+
+class TestBuildJoinPair:
+    def test_full_selectivity_key_join(self, rng):
+        pair = build_join_pair(
+            RelationSpec(500), RelationSpec(500), 100.0, rng
+        )
+        assert len(pair.outer) == len(pair.inner) == 500
+        # 0% duplicates + 100% selectivity: every inner value matches.
+        assert set(pair.inner) <= set(pair.outer)
+        assert pair.expected_result_size() == 500
+
+    def test_zero_selectivity_disjoint(self, rng):
+        pair = build_join_pair(RelationSpec(300), RelationSpec(300), 0.0, rng)
+        assert not (set(pair.outer) & set(pair.inner))
+        assert pair.expected_result_size() == 0
+
+    def test_partial_selectivity(self, rng):
+        pair = build_join_pair(
+            RelationSpec(400), RelationSpec(400), 50.0, rng
+        )
+        matching = set(pair.outer) & set(pair.inner)
+        assert len(matching) == pytest.approx(200, abs=2)
+        assert matching == set(pair.matching_values)
+
+    def test_duplicate_percentages_respected(self, rng):
+        spec = RelationSpec(1000, 60.0, DuplicateDistribution(None))
+        pair = build_join_pair(spec, spec, 100.0, rng)
+        assert len(set(pair.outer)) == spec.unique_values()
+        assert len(set(pair.inner)) == spec.unique_values()
+
+    def test_skew_carries_into_inner_sampling(self, rng):
+        # With a skewed outer, inner values sampled from outer *tuples*
+        # are biased towards heavy hitters.
+        outer_spec = RelationSpec(2000, 90.0, DuplicateDistribution(0.1))
+        inner_spec = RelationSpec(400, 50.0, DuplicateDistribution(None))
+        # Partial selectivity so only a subset of outer values is chosen
+        # (at 100% every value is taken and no bias can show).
+        pair = build_join_pair(outer_spec, inner_spec, 30.0, rng)
+        outer_freq = Counter(pair.outer)
+        chosen_freqs = [outer_freq[v] for v in pair.matching_values]
+        overall = sum(outer_freq.values()) / len(outer_freq)
+        # The chosen values are on average more frequent than typical.
+        assert sum(chosen_freqs) / len(chosen_freqs) > overall
+
+    def test_expected_result_size_matches_brute_force(self, rng):
+        pair = build_join_pair(
+            RelationSpec(150, 40.0, DuplicateDistribution(0.4)),
+            RelationSpec(100, 30.0, DuplicateDistribution(None)),
+            70.0,
+            rng,
+        )
+        brute = sum(1 for o in pair.outer for i in pair.inner if o == i)
+        assert pair.expected_result_size() == brute
+
+    def test_selectivity_validated(self, rng):
+        with pytest.raises(ValueError):
+            build_join_pair(RelationSpec(10), RelationSpec(10), 150.0, rng)
+
+
+class TestQueryMix:
+    def test_percentages_validated(self, rng):
+        with pytest.raises(ValueError):
+            list(query_mix_operations([1], 10, 50, 20, 20, rng))
+
+    def test_operation_counts_roughly_match_mix(self, rng):
+        ops = list(
+            query_mix_operations(list(range(1000)), 4000, 60, 20, 20, rng)
+        )
+        assert len(ops) == 4000
+        tally = Counter(op for op, __ in ops)
+        assert tally["search"] == pytest.approx(2400, abs=200)
+        assert tally["insert"] == pytest.approx(800, abs=150)
+        assert tally["delete"] == pytest.approx(800, abs=150)
+
+    def test_stream_is_replayable_consistently(self, rng):
+        # Deletes only remove present keys; inserts only add fresh keys;
+        # searches only probe present keys — so replaying against a set
+        # never faults.
+        keys = list(range(500))
+        present = set(keys)
+        for op, key in query_mix_operations(keys, 3000, 40, 30, 30, rng):
+            if op == "search":
+                assert key in present
+            elif op == "insert":
+                assert key not in present
+                present.add(key)
+            else:
+                assert key in present
+                present.discard(key)
+
+    def test_deterministic_for_seed(self):
+        keys = list(range(100))
+        a = list(query_mix_operations(keys, 500, 60, 20, 20, random.Random(3)))
+        b = list(query_mix_operations(keys, 500, 60, 20, 20, random.Random(3)))
+        assert a == b
