@@ -1,0 +1,157 @@
+"""Query reuse benchmark: repeated statements with and without caching.
+
+A mixed read-only workload — ten distinct query shapes spanning point
+lookups, range scans, OR multi-lookups, an FK join, aggregation,
+DISTINCT, ORDER BY + LIMIT, and a prepared statement — runs many times
+per shape.  The baseline pass re-lexes, re-parses, re-optimizes, and
+re-executes every statement; the cached pass installs the reuse
+subsystem (plan cache + versioned result cache) and runs the *same*
+workload on the *same* data.
+
+Since the data is read-only, every repetition after the first hits the
+statement-level result cache; its honest cost (key normalization, cache
+probes, version checks, and the defensive row copies, all recorded as
+counter events/moves) is what the "cached" column shows.  The ratio is
+the paper-style payoff: Dursun et al. report order-of-magnitude wins for
+exactly this kind of repeat-heavy workload.
+"""
+
+from __future__ import annotations
+
+try:
+    from benchmarks.harness import (
+        SeriesCollector,
+        bench_rng,
+        measure,
+        scaled,
+    )
+except ImportError:  # pragma: no cover - direct execution
+    from harness import SeriesCollector, bench_rng, measure, scaled
+
+from repro.cache import CacheConfig
+from repro.engine.database import MainMemoryDatabase
+
+#: Executions per query shape (10 shapes → 1000 statement executions).
+REPEATS = 100
+
+_DEPARTMENTS = 50
+_EMPLOYEES = scaled(20_000)  # 2,000 by default
+
+
+def _build_db() -> MainMemoryDatabase:
+    rng = bench_rng()
+    db = MainMemoryDatabase()
+    db.sql(
+        "CREATE TABLE Department (Name TEXT, Id INT, Floor INT, "
+        "PRIMARY KEY (Id))"
+    )
+    db.sql(
+        "CREATE TABLE Employee (Name TEXT, Id INT, Age INT, "
+        "Dept_Id INT REFERENCES Department(Id), PRIMARY KEY (Id))"
+    )
+    for dept in range(_DEPARTMENTS):
+        db.insert("Department", [f"Dept{dept:03d}", dept, rng.randint(1, 9)])
+    for emp in range(_EMPLOYEES):
+        db.insert(
+            "Employee",
+            [
+                f"Emp{emp:05d}",
+                emp,
+                rng.randint(18, 65),
+                rng.randrange(_DEPARTMENTS),
+            ],
+        )
+    db.sql("CREATE INDEX emp_age ON Employee (Age)")
+    db.sql("CREATE INDEX emp_name ON Employee (Name) USING chained_hash")
+    return db
+
+
+def _workload(db: MainMemoryDatabase):
+    """Run the ten query shapes once; returns materialized results."""
+    lookup = db.prepare("SELECT Name FROM Employee WHERE Id = ?")
+    statements = [
+        # point lookup through the primary T-Tree
+        "SELECT * FROM Employee WHERE Id = 1234",
+        # hash-index equality
+        "SELECT Age FROM Employee WHERE Name = 'Emp00042'",
+        # T-Tree range scan
+        "SELECT Name FROM Employee WHERE Age BETWEEN 30 AND 33",
+        # OR over one indexed field -> multi-lookup union
+        "SELECT Name FROM Employee WHERE Age = 21 OR Age = 63",
+        # FK (precomputed) join with a selective outer predicate
+        "SELECT Employee.Name, Department.Name FROM Employee "
+        "JOIN Department ON Dept_Id = Id WHERE Age > 63",
+        # filtered aggregation
+        "SELECT Age, count(*) AS n FROM Employee WHERE Age >= 60 GROUP BY Age",
+        # duplicate elimination
+        "SELECT DISTINCT Age FROM Employee WHERE Age < 25",
+        # sort + limit over a selective range
+        "SELECT Name FROM Employee WHERE Age > 60 ORDER BY Name LIMIT 10",
+        # second relation point lookup
+        "SELECT Name FROM Department WHERE Id = 17",
+    ]
+    outputs = [db.sql(text).materialize() for text in statements]
+    # prepared-statement shape: five distinct bindings, cycled
+    for key in (7, 77, 777, 1111, 1777):
+        outputs.append(lookup.execute(key).materialize())
+    return outputs
+
+
+def run_plan_cache_benchmark(repeats: int = REPEATS):
+    """(series, summary) for the cached-vs-uncached comparison."""
+    db = _build_db()
+
+    def run_many():
+        final = None
+        for __ in range(repeats):
+            final = _workload(db)
+        return final
+
+    baseline_rows, baseline, baseline_secs = measure(run_many)
+
+    db.configure_cache(CacheConfig())
+    cached_rows, cached, cached_secs = measure(run_many)
+
+    if cached_rows != baseline_rows:
+        raise AssertionError(
+            "cached workload returned different rows than uncached"
+        )
+
+    series = SeriesCollector(
+        f"Query reuse: {repeats} executions of 10 query shapes "
+        f"(|Employee|={_EMPLOYEES})",
+        "mode",
+        ["total_ops", "comparisons", "moves", "hashes", "seconds"],
+    )
+    for mode, counters, seconds in (
+        ("uncached", baseline, baseline_secs),
+        ("cached", cached, cached_secs),
+    ):
+        series.add(
+            mode,
+            total_ops=counters.total(),
+            comparisons=counters.comparisons,
+            moves=counters.moves,
+            hashes=counters.hashes,
+            seconds=seconds,
+        )
+    ratio = baseline.total() / max(1, cached.total())
+    summary = {
+        "repeats": repeats,
+        "ratio_total_ops": round(ratio, 2),
+        "uncached_counters": baseline.as_dict(),
+        "cached_counters": cached.as_dict(),
+        "cache_stats": db.cache_stats(),
+    }
+    return series, summary
+
+
+def test_plan_cache_speedup():
+    series, summary = run_plan_cache_benchmark()
+    series.publish("plan_cache", extra=summary)
+    print(f"total-operation reduction: {summary['ratio_total_ops']}x")
+    assert summary["ratio_total_ops"] >= 5.0, summary
+
+
+if __name__ == "__main__":
+    test_plan_cache_speedup()

@@ -19,8 +19,10 @@ minutes; set ``REPRO_FULL=1`` for the paper's full sizes.
 
 from __future__ import annotations
 
+import json
 import os
 import random
+import sys
 import time
 from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
 
@@ -28,6 +30,13 @@ from repro.instrument import OpCounters, counters_scope
 
 #: Set REPRO_FULL=1 to run the paper's original cardinalities.
 FULL_SCALE = os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+#: Machine-readable output: ``--json`` on the command line or REPRO_JSON=1.
+#: ``publish`` then also writes ``benchmarks/results/BENCH_<name>.json``
+#: holding the series points, any extra counters, and wall-clock metadata.
+JSON_MODE = "--json" in sys.argv or os.environ.get("REPRO_JSON", "") not in (
+    "", "0"
+)
 
 #: Deterministic seed shared by every benchmark.
 SEED = 19860528  # SIGMOD'86 was held in late May 1986.
@@ -142,17 +151,22 @@ class SeriesCollector:
     def render(self) -> str:
         return format_table(self.title, self.x_label, self.columns, self.rows())
 
-    def publish(self, name: str) -> None:
+    def publish(self, name: str, extra: Dict[str, Any] = None) -> None:
         """Print the table and save it under benchmarks/results/.
 
         pytest captures stdout by default; the saved file preserves the
-        regenerated series either way.
+        regenerated series either way.  In JSON mode (``--json`` or
+        ``REPRO_JSON=1``) a machine-readable ``BENCH_<name>.json`` is
+        written alongside, carrying the series points plus any ``extra``
+        payload (e.g. raw counter dicts).
         """
         text = self.render()
         print()
         print(text)
         print()
         save_result(name, text)
+        if JSON_MODE:
+            save_result_json(name, self, extra)
 
 
 def save_result(name: str, text: str) -> str:
@@ -162,4 +176,36 @@ def save_result(name: str, text: str) -> str:
     path = os.path.join(results_dir, f"{name}.txt")
     with open(path, "w") as handle:
         handle.write(text + "\n")
+    return path
+
+
+def save_result_json(
+    name: str, series: "SeriesCollector", extra: Dict[str, Any] = None
+) -> str:
+    """Write ``benchmarks/results/BENCH_<name>.json``.
+
+    The document is self-describing: series name, axis labels, the
+    points as ``{x, values}`` records, wall-clock/timestamp metadata,
+    and whatever the caller adds under ``extra``.
+    """
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, f"BENCH_{name}.json")
+    document = {
+        "name": name,
+        "title": series.title,
+        "x_label": series.x_label,
+        "columns": series.columns,
+        "points": [
+            {"x": x, "values": values} for x, values in series.points
+        ],
+        "full_scale": FULL_SCALE,
+        "seed": SEED,
+        "unix_time": time.time(),
+    }
+    if extra:
+        document["extra"] = extra
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, default=str)
+        handle.write("\n")
     return path

@@ -1,0 +1,28 @@
+"""Configuration knobs for the query-reuse subsystem.
+
+Caching is **off by default**: a :class:`MainMemoryDatabase` built
+without a :class:`CacheConfig` behaves byte-for-byte like the un-cached
+engine (same plans, same counters).  Benchmarks and applications opt in
+via ``db.configure_cache(CacheConfig(...))`` or ``db.configure_cache()``
+for the defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheConfig:
+    """Capacities and enable flags for the reuse caches."""
+
+    #: LRU capacity of the normalized-SQL → parsed-AST cache.
+    ast_capacity: int = 128
+    #: LRU capacity of the normalized-SQL → optimized-plan cache.
+    plan_capacity: int = 128
+    #: LRU capacity of the fingerprint → result cache (subtree + statement).
+    result_capacity: int = 64
+    #: Master switch for the parse/plan layer.
+    enable_plans: bool = True
+    #: Master switch for the result-reuse layer.
+    enable_results: bool = True

@@ -1,0 +1,90 @@
+"""Bounded LRU map shared by the reuse caches.
+
+A thin ``OrderedDict`` wrapper that records hits, misses, evictions, and
+explicit invalidations both locally (for ``cache_stats()`` reports) and
+through the instrumentation counters (``<prefix>_hits`` etc. land in the
+active :class:`~repro.instrument.OpCounters` scope, so benchmarks can
+report reuse rates alongside the paper's comparison/move counters).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.instrument import count_event
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Least-recently-used cache with instrumented hit/miss/evict stats."""
+
+    def __init__(self, capacity: int, event_prefix: str) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self.event_prefix = event_prefix
+        self._entries: "OrderedDict[Any, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """(key, value) pairs, least-recently-used first."""
+        return iter(self._entries.items())
+
+    def get(self, key: Any) -> Optional[Any]:
+        """Return the cached value (refreshing recency), or None."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            count_event(f"{self.event_prefix}_misses")
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        count_event(f"{self.event_prefix}_hits")
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert or refresh an entry, evicting the LRU one if over
+        capacity."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            count_event(f"{self.event_prefix}_evictions")
+
+    def invalidate(self, key: Any) -> bool:
+        """Drop one entry (a version-staleness discard, not an LRU
+        eviction); returns whether it was present."""
+        if key in self._entries:
+            del self._entries[key]
+            self.invalidations += 1
+            count_event(f"{self.event_prefix}_invalidations")
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept)."""
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Current size plus lifetime hit/miss/evict/invalidate counts."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }

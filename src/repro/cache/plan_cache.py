@@ -1,0 +1,112 @@
+"""Plan cache: skip lexing, parsing, and optimisation for repeat SQL.
+
+Two LRU layers keyed on normalized statement text:
+
+* an **AST cache** (``plan_ast``) that skips the lexer and recursive-
+  descent parser, and
+* a **plan cache** (``plan``) that additionally skips the optimizer's
+  access-path selection for the read core of a SELECT.
+
+Cached plans carry the version of every relation in their dependency
+closure; :meth:`PlanCache.plan_for` validates those versions on every
+hit, so DDL (index create/drop, table drop) and mutations that could
+change the optimizer's choice invalidate entries lazily in O(relations-
+in-plan) without a catalog-wide sweep.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Optional, Tuple
+
+from repro.cache.fingerprint import (
+    FingerprintError,
+    dependency_closure,
+    plan_relations,
+)
+from repro.cache.lru import LRUCache
+from repro.errors import CatalogError
+
+_WHITESPACE = re.compile(r"\s+")
+
+
+def normalize_sql(text: str) -> str:
+    """Canonical cache key for a SQL statement.
+
+    Strips surrounding whitespace and a trailing ``;`` and collapses
+    internal whitespace runs — but only when the statement contains no
+    quote character, because whitespace inside string literals is
+    significant (``'a  b'`` and ``'a b'`` are different constants).
+    """
+    text = text.strip()
+    if text.endswith(";"):
+        text = text[:-1].rstrip()
+    if "'" not in text and '"' not in text:
+        text = _WHITESPACE.sub(" ", text)
+    return text
+
+
+class PlanCache:
+    """Normalized-text → AST and normalized-text → optimized-plan caches."""
+
+    def __init__(self, ast_capacity: int = 128, plan_capacity: int = 128) -> None:
+        self.ast_cache = LRUCache(ast_capacity, "plan_ast")
+        self.plan_cache = LRUCache(plan_capacity, "plan")
+
+    # -- parsed-statement layer -------------------------------------------
+
+    def statement_for(self, key: Any):
+        """Cached parsed AST for a normalized statement key, or None."""
+        return self.ast_cache.get(key)
+
+    def store_statement(self, key: Any, statement) -> None:
+        self.ast_cache.put(key, statement)
+
+    # -- optimized-plan layer ---------------------------------------------
+
+    def plan_for(self, key: Any, catalog) -> Optional[Any]:
+        """Cached optimized plan for ``key`` if still valid, else None.
+
+        A stale entry (any depended-on relation changed version, or was
+        dropped) is discarded before reporting a miss.
+        """
+        entry = self.plan_cache.get(key)
+        if entry is None:
+            return None
+        plan, versions = entry
+        for name, version in versions.items():
+            try:
+                relation = catalog.relation(name)
+            except CatalogError:
+                relation = None
+            if relation is None or relation.version != version:
+                self.plan_cache.invalidate(key)
+                return None
+        return plan
+
+    def store_plan(self, key: Any, plan, catalog) -> None:
+        """Record an optimized plan with its dependency versions.
+
+        Plans the fingerprinter cannot analyse (or whose relations have
+        already been dropped) are silently left uncached.
+        """
+        try:
+            closure = dependency_closure(catalog, plan_relations(plan))
+            versions = {
+                name: catalog.relation(name).version for name in closure
+            }
+        except (FingerprintError, CatalogError):
+            return
+        self.plan_cache.put(key, (plan, versions))
+
+    # -- maintenance ------------------------------------------------------
+
+    def clear(self) -> None:
+        self.ast_cache.clear()
+        self.plan_cache.clear()
+
+    def stats(self) -> dict:
+        return {
+            "ast": self.ast_cache.stats(),
+            "plan": self.plan_cache.stats(),
+        }

@@ -111,9 +111,14 @@ class MainMemoryDatabase:
         device, change-accumulation log) is active.  When false the
         database is volatile — the configuration the paper's query
         processing experiments ran in.
+    cache:
+        Optional :class:`~repro.cache.CacheConfig` enabling the query
+        reuse subsystem (plan cache + versioned result cache).  The
+        default, ``None``, leaves caching off: plans are rebuilt and
+        results recomputed on every call, exactly as before.
     """
 
-    def __init__(self, durable: bool = False) -> None:
+    def __init__(self, durable: bool = False, cache=None) -> None:
         self.catalog = Catalog()
         self.optimizer = Optimizer(self.catalog)
         self.executor = Executor(self.catalog)
@@ -122,10 +127,50 @@ class MainMemoryDatabase:
         self.recovery: Optional[RecoveryManager] = (
             RecoveryManager(self.catalog) if durable else None
         )
+        self.plan_cache = None
+        self.result_cache = None
+        if cache is not None:
+            self.configure_cache(cache)
         # The transaction id used for log records when no transaction is
         # active (each autocommit op commits immediately).
         self._autocommit_lock = threading.Lock()
         self._txn_local = threading.local()
+
+    # ------------------------------------------------------------------ #
+    # query reuse subsystem
+    # ------------------------------------------------------------------ #
+
+    def configure_cache(self, config=None) -> None:
+        """Install (or reconfigure) the reuse caches.
+
+        ``config`` is a :class:`~repro.cache.CacheConfig`; ``None``
+        installs the defaults.  Passing a config with both layers
+        disabled removes caching entirely.
+        """
+        from repro.cache import CacheConfig, PlanCache, ResultCache
+
+        if config is None:
+            config = CacheConfig()
+        self.plan_cache = (
+            PlanCache(config.ast_capacity, config.plan_capacity)
+            if config.enable_plans
+            else None
+        )
+        self.result_cache = (
+            ResultCache(self.catalog, config.result_capacity)
+            if config.enable_results
+            else None
+        )
+        self.executor.result_cache = self.result_cache
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """Hit/miss/eviction statistics for every installed cache layer."""
+        stats: Dict[str, Any] = {}
+        if self.plan_cache is not None:
+            stats.update(self.plan_cache.stats())
+        if self.result_cache is not None:
+            stats["result"] = self.result_cache.stats()
+        return stats
 
     # ------------------------------------------------------------------ #
     # schema operations
@@ -472,6 +517,13 @@ class MainMemoryDatabase:
             predicate, target, logical.references.field
         )
 
+    def selection_plan(
+        self, relation_name: str, predicate: Optional[Predicate] = None
+    ) -> PlanNode:
+        """Build (without running) the plan :meth:`select` would run."""
+        predicate = self._rewrite_fk_predicate(relation_name, predicate)
+        return self.optimizer.plan_selection(relation_name, predicate)
+
     def select(
         self,
         relation_name: str,
@@ -487,11 +539,10 @@ class MainMemoryDatabase:
         """
         if txn is not None:
             txn.lock((relation_name, None), LockMode.SHARED)
-        predicate = self._rewrite_fk_predicate(relation_name, predicate)
-        plan = self.optimizer.plan_selection(relation_name, predicate)
+        plan = self.selection_plan(relation_name, predicate)
         return self.executor.execute(plan)
 
-    def join(
+    def join_plan(
         self,
         outer_name: str,
         inner_name: str,
@@ -500,15 +551,8 @@ class MainMemoryDatabase:
         outer_predicate: Optional[Predicate] = None,
         inner_predicate: Optional[Predicate] = None,
         op: str = "=",
-    ) -> TemporaryList:
-        """Two-relation join; ``method='auto'`` applies Section 4's
-        preference order, or force one of the JOIN_METHODS.
-
-        ``op`` other than "=" runs a non-equijoin (Section 3.3.5): the
-        ordered ops ("<", "<=", ">", ">=") use a T-Tree on the inner
-        column when one exists, else nested loops; "!=" always nested
-        loops.
-        """
+    ) -> PlanNode:
+        """Build (without running) the plan :meth:`join` would run."""
         outer_col, inner_col = on
         # Accept "Table.field" qualifiers when they name the respective
         # relation (the SQL layer passes them through verbatim).
@@ -569,6 +613,30 @@ class MainMemoryDatabase:
                 # match.  Compare pointers instead — the paper's Query 2.
                 join_col = REF_COLUMN
             plan = JoinNode(left, right, outer_col, join_col, method)
+        return plan
+
+    def join(
+        self,
+        outer_name: str,
+        inner_name: str,
+        on: Tuple[str, str],
+        method: str = "auto",
+        outer_predicate: Optional[Predicate] = None,
+        inner_predicate: Optional[Predicate] = None,
+        op: str = "=",
+    ) -> TemporaryList:
+        """Two-relation join; ``method='auto'`` applies Section 4's
+        preference order, or force one of the JOIN_METHODS.
+
+        ``op`` other than "=" runs a non-equijoin (Section 3.3.5): the
+        ordered ops ("<", "<=", ">", ">=") use a T-Tree on the inner
+        column when one exists, else nested loops; "!=" always nested
+        loops.
+        """
+        plan = self.join_plan(
+            outer_name, inner_name, on, method,
+            outer_predicate, inner_predicate, op,
+        )
         return self.executor.execute(plan)
 
     def _fk_matches(
@@ -609,6 +677,13 @@ class MainMemoryDatabase:
         """Render a plan tree."""
         return plan.explain()
 
+    def _interpreter(self):
+        from repro.sql.interpreter import SQLInterpreter
+
+        if not hasattr(self, "_sql_interpreter"):
+            self._sql_interpreter = SQLInterpreter(self)
+        return self._sql_interpreter
+
     def sql(self, text: str):
         """Run one SQL statement (see :mod:`repro.sql` for the dialect).
 
@@ -616,11 +691,25 @@ class MainMemoryDatabase:
         EXPLAIN, a list of tuple pointers for INSERT, an affected-row
         count for UPDATE/DELETE, and None for DDL.
         """
-        from repro.sql.interpreter import SQLInterpreter
+        return self._interpreter().execute(text)
 
-        if not hasattr(self, "_sql_interpreter"):
-            self._sql_interpreter = SQLInterpreter(self)
-        return self._sql_interpreter.execute(text)
+    def prepare(self, text: str):
+        """Compile a SQL statement with ``?`` placeholders once.
+
+        The returned :class:`~repro.sql.prepared.PreparedStatement`
+        re-binds per execution::
+
+            stmt = db.prepare("SELECT Name FROM Employee WHERE Id = ?")
+            stmt.execute(104)
+            stmt.execute(105)
+
+        Parameter values are type-checked against the schema at bind
+        time, and with the plan cache enabled repeated executions skip
+        the lexer, parser, and optimizer.
+        """
+        from repro.sql.prepared import PreparedStatement
+
+        return PreparedStatement(self, text)
 
     # ------------------------------------------------------------------ #
     # recovery controls (durable mode)

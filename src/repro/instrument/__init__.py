@@ -11,6 +11,7 @@ from repro.instrument.counters import (
     OpCounters,
     count_alloc,
     count_compare,
+    count_event,
     count_hash,
     count_move,
     count_traverse,
@@ -25,6 +26,7 @@ __all__ = [
     "Stopwatch",
     "count_alloc",
     "count_compare",
+    "count_event",
     "count_hash",
     "count_move",
     "count_traverse",

@@ -200,6 +200,18 @@ def count_traverse(n: int = 1) -> None:
         _stack[-1].traversals += n
 
 
+def count_event(name: str, n: int = 1) -> None:
+    """Record ``n`` occurrences of a named ad-hoc operation.
+
+    Events land in the active scope's ``extra`` map and therefore count
+    toward :meth:`OpCounters.total`.  Used for the reuse subsystem's
+    cache hit/miss/eviction accounting and for parse/plan work.
+    """
+    if _enabled:
+        extra = _stack[-1].extra
+        extra[name] = extra.get(name, 0) + n
+
+
 def count_alloc(n: int = 1) -> None:
     """Record ``n`` node / bucket allocations."""
     if _enabled:

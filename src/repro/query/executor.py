@@ -47,17 +47,36 @@ _THETA_PREDICATES = {
 
 
 class Executor:
-    """Evaluates plan trees against a catalog."""
+    """Evaluates plan trees against a catalog.
 
-    def __init__(self, catalog: Catalog) -> None:
+    With a :class:`~repro.cache.result_cache.ResultCache` attached,
+    ``execute`` memoizes *whole subtree* results: the recursive
+    ``execute`` calls inside join and filter operators hit the cache for
+    any previously computed subtree whose relations are unchanged.
+    """
+
+    def __init__(self, catalog: Catalog, result_cache=None) -> None:
         self.catalog = catalog
+        self.result_cache = result_cache
 
     # ------------------------------------------------------------------ #
     # dispatch
     # ------------------------------------------------------------------ #
 
     def execute(self, plan: PlanNode) -> TemporaryList:
-        """Evaluate ``plan`` to a temporary list."""
+        """Evaluate ``plan`` to a temporary list (through the result
+        cache, when one is attached)."""
+        cache = self.result_cache
+        if cache is None:
+            return self._dispatch(plan)
+        hit = cache.lookup_plan(plan)
+        if hit is not None:
+            return hit
+        result = self._dispatch(plan)
+        cache.store_plan(plan, result)
+        return result
+
+    def _dispatch(self, plan: PlanNode) -> TemporaryList:
         if isinstance(plan, ScanNode):
             return self._execute_scan(plan)
         if isinstance(plan, IndexLookupNode):

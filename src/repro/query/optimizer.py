@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.errors import PlanError
+from repro.instrument import count_event
 from repro.query.plan import (
     REF_COLUMN,
     FilterNode,
@@ -83,10 +84,13 @@ class Optimizer:
     def column_stats(self, relation: Relation, field: str) -> ColumnStatistics:
         """Distinct-value statistics, computed through an index scan.
 
-        Cached per (relation, field, cardinality); an exact refresh
-        happens whenever the relation's size changes.
+        Cached per (relation, field, version); an exact refresh happens
+        whenever the relation changes at all.  Keying on the version
+        rather than the cardinality keeps planning deterministic: an
+        update that changes distinct counts without changing the row
+        count would otherwise serve stale statistics.
         """
-        cache_key = (relation.name, field, len(relation))
+        cache_key = (relation.name, field, relation.version)
         cached = self._stats_cache.get(cache_key)
         if cached is not None:
             return cached
@@ -120,6 +124,7 @@ class Optimizer:
         sequential scan, exactly the Section 4 ordering.  Any comparisons
         not served by the chosen index become a residual filter.
         """
+        count_event("plans_built")
         relation = self.catalog.relation(relation_name)
         if predicate is None:
             return ScanNode(relation_name)
@@ -251,6 +256,7 @@ class Optimizer:
         local predicate blocks that, the optimizer falls back to the
         generic methods on the filtered input.
         """
+        count_event("plans_built")
         outer = self.catalog.relation(outer_name)
         inner = self.catalog.relation(inner_name)
         method = self.choose_join_method(outer, inner, outer_col, inner_col)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Sequence, Tuple, Union
 
+from repro.cache.plan_cache import normalize_sql
 from repro.errors import QueryError, SchemaError
 from repro.query.plan import JoinNode, ScanNode
 from repro.query.predicates import (
@@ -22,6 +23,7 @@ from repro.query.predicates import (
 )
 from repro.query.sort import quicksort
 from repro.sql import parser as ast
+from repro.sql.prepared import contains_parameters
 from repro.storage.schema import Field, FieldType, ForeignKey
 from repro.storage.temporary import TemporaryList
 
@@ -92,8 +94,42 @@ class SQLInterpreter:
         Returns: a :class:`TemporaryList` for SELECT, a plan string for
         EXPLAIN, a list of tuple pointers for INSERT, an affected-row
         count for UPDATE/DELETE, and None for DDL.
+
+        With the plan cache installed, repeat statements skip the lexer
+        and parser (keyed on normalized text); SELECTs additionally reuse
+        their optimized plan and, via the result cache, their results.
         """
-        statement = ast.parse_statement(text)
+        plan_cache = self.db.plan_cache
+        key = None
+        statement = None
+        if plan_cache is not None:
+            key = normalize_sql(text)
+            statement = plan_cache.statement_for(key)
+        if statement is None:
+            statement = ast.parse_statement(text)
+            if plan_cache is not None:
+                plan_cache.store_statement(key, statement)
+        if contains_parameters(statement):
+            raise QueryError(
+                "statement contains ? placeholders; use db.prepare(...) "
+                "and execute with bound values"
+            )
+        plan_key = None
+        if isinstance(statement, ast.Select) and (
+            plan_cache is not None or self.db.result_cache is not None
+        ):
+            plan_key = ("sql", key if key is not None else normalize_sql(text))
+        return self.run_statement(statement, plan_key)
+
+    def run_statement(self, statement, plan_key=None):
+        """Run an already-parsed statement.
+
+        ``plan_key`` (when caching is enabled) identifies the statement
+        in the plan and result caches; prepared statements pass a key
+        that includes their bound parameter values.
+        """
+        if isinstance(statement, ast.Select):
+            return self._run_select(statement, plan_key)
         handler = getattr(self, f"_run_{type(statement).__name__.lower()}")
         return handler(statement)
 
@@ -202,47 +238,70 @@ class SQLInterpreter:
             _conditions_to_predicate(inner_conditions),
         )
 
-    def _run_select(self, stmt: ast.Select):
+    def _build_core_plan(self, stmt: ast.Select):
+        """Plan the read core of a SELECT (joins + WHERE, no post-
+        processing) without executing it."""
         has_group = any(
             isinstance(cond, ast.ConditionGroup) for cond in stmt.conditions
         )
         if not stmt.joins:
             predicate = _conditions_to_predicate(stmt.conditions)
-            result = self.db.select(stmt.table, predicate)
-        elif has_group:
+            return self.db.selection_plan(stmt.table, predicate)
+        if has_group or len(stmt.joins) > 1:
             # OR-bearing WHERE clauses over joins go through the generic
             # chain planner (cross-table disjunctions filter post-join).
-            result = self._run_join_chain(stmt)
-        elif len(stmt.joins) == 1:
-            outer_pred, inner_pred = self._split_join_conditions(stmt)
-            clause = stmt.joins[0]
-            result = self.db.join(
-                stmt.table,
-                clause.table,
-                on=(clause.left, clause.right),
-                method=clause.method if clause.method else "auto",
-                outer_predicate=outer_pred,
-                inner_predicate=inner_pred,
-                op=clause.op,
-            )
+            return self._join_chain_plan(stmt)
+        outer_pred, inner_pred = self._split_join_conditions(stmt)
+        clause = stmt.joins[0]
+        return self.db.join_plan(
+            stmt.table,
+            clause.table,
+            on=(clause.left, clause.right),
+            method=clause.method if clause.method else "auto",
+            outer_predicate=outer_pred,
+            inner_predicate=inner_pred,
+            op=clause.op,
+        )
+
+    def _core_result(self, stmt: ast.Select, plan_key) -> TemporaryList:
+        """Execute the read core, reusing a cached plan when possible."""
+        plan_cache = self.db.plan_cache
+        if plan_cache is not None and plan_key is not None:
+            plan = plan_cache.plan_for(plan_key, self.db.catalog)
+            if plan is None:
+                plan = self._build_core_plan(stmt)
+                plan_cache.store_plan(plan_key, plan, self.db.catalog)
         else:
-            result = self._run_join_chain(stmt)
+            plan = self._build_core_plan(stmt)
+        return self.db.executor.execute(plan)
+
+    def _run_select(self, stmt: ast.Select, plan_key=None):
+        result_cache = self.db.result_cache
+        if result_cache is not None and plan_key is not None:
+            cached = result_cache.lookup_statement(plan_key)
+            if cached is not None:
+                return cached
+        result = self._core_result(stmt, plan_key)
         if stmt.aggregates or stmt.group_by:
-            return self._aggregate(stmt, result)
-        if stmt.columns:
-            result = self.db.project(
-                result, list(stmt.columns), deduplicate=stmt.distinct
-            )
-        elif stmt.distinct:
-            result = self.db.project(
-                result, result.descriptor.column_names, deduplicate=True
-            )
-        if stmt.order_by is not None:
-            result = self._order_by(result, stmt.order_by, stmt.order_desc)
-        if stmt.limit is not None:
-            result = TemporaryList(
-                result.descriptor, result.rows()[: stmt.limit]
-            )
+            result = self._aggregate(stmt, result)
+        else:
+            if stmt.columns:
+                result = self.db.project(
+                    result, list(stmt.columns), deduplicate=stmt.distinct
+                )
+            elif stmt.distinct:
+                result = self.db.project(
+                    result, result.descriptor.column_names, deduplicate=True
+                )
+            if stmt.order_by is not None:
+                result = self._order_by(result, stmt.order_by, stmt.order_desc)
+            if stmt.limit is not None:
+                result = TemporaryList(
+                    result.descriptor, result.rows()[: stmt.limit]
+                )
+        if result_cache is not None and plan_key is not None:
+            tables = [stmt.table] + [clause.table for clause in stmt.joins]
+            result_cache.store_statement(plan_key, result, tables)
         return result
 
     def _aggregate(self, stmt: ast.Select, result: TemporaryList):
@@ -420,6 +479,9 @@ class SQLInterpreter:
         return predicate  # _NeverMatches and friends need no renaming
 
     def _run_join_chain(self, stmt: ast.Select) -> TemporaryList:
+        return self.db.executor.execute(self._join_chain_plan(stmt))
+
+    def _join_chain_plan(self, stmt: ast.Select):
         from repro.query.plan import FilterNode, JoinNode, ScanNode
 
         tables = [stmt.table] + [clause.table for clause in stmt.joins]
@@ -456,7 +518,7 @@ class SQLInterpreter:
                 else Conjunction(tuple(residual))
             )
             plan = FilterNode(plan, predicate)
-        return self.db.executor.execute(plan)
+        return plan
 
     def _order_by(
         self, result: TemporaryList, column: str, descending: bool

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Iterator, List
 
 from repro.errors import QueryError
+from repro.instrument import count_event
 
 
 class SQLSyntaxError(QueryError):
@@ -48,7 +49,7 @@ _TOKEN_RE = re.compile(
   | (?P<string>'(?:[^']|'')*')
   | (?P<ident>[A-Za-z_][A-Za-z_0-9.]*)
   | (?P<op><=|>=|!=|<>|=|<|>)
-  | (?P<punct>[(),;*])
+  | (?P<punct>[(),;*?])
     """,
     re.VERBOSE,
 )
@@ -98,4 +99,5 @@ def tokenize(text: str) -> List[Token]:
                 tokens.append(Token(TokenType.PUNCT, value, position))
         position = match.end()
     tokens.append(Token(TokenType.END, "", len(text)))
+    count_event("sql_tokens", len(tokens))
     return tokens

@@ -63,6 +63,7 @@ __all__ = [
     "Explain",
     "ColumnDef",
     "Condition",
+    "Parameter",
 ]
 
 _TYPES = {
@@ -70,6 +71,19 @@ _TYPES = {
     "FLOAT": "float", "REAL": "float",
     "TEXT": "str", "STR": "str", "STRING": "str", "VARCHAR": "str",
 }
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A ``?`` placeholder in a prepared statement, by 0-based position.
+
+    Parameters may appear anywhere a literal may: conditions, INSERT
+    rows, and UPDATE assignments.  Executing a statement that still
+    contains unbound parameters is a :class:`~repro.errors.QueryError`;
+    :mod:`repro.sql.prepared` substitutes values per execution.
+    """
+
+    index: int
 
 
 @dataclass(frozen=True)
@@ -214,6 +228,7 @@ class _Parser:
     def __init__(self, tokens: List[Token]) -> None:
         self._tokens = tokens
         self._index = 0
+        self._param_count = 0
 
     # ------------------------------------------------------------------ #
     # token plumbing
@@ -275,6 +290,10 @@ class _Parser:
             return token.value
         if token.is_keyword("NULL"):
             return None
+        if token.type is TokenType.PUNCT and token.value == "?":
+            parameter = Parameter(self._param_count)
+            self._param_count += 1
+            return parameter
         raise SQLSyntaxError(
             f"expected literal, got {token.value!r} at {token.position}"
         )

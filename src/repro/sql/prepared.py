@@ -1,0 +1,240 @@
+"""Prepared statements: parse and type-infer once, bind per execution.
+
+``MainMemoryDatabase.prepare("SELECT ... WHERE Id = ?")`` lowers the
+statement through the lexer and parser exactly once.  Each ``execute``
+call type-checks the supplied values against the schema (inferred at
+prepare time from the parameter's syntactic position), substitutes them
+into a fresh AST, and runs it — with the plan cache enabled, repeated
+executions with equal parameters also skip the optimizer and, on a
+read-only workload, the executor itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.errors import CatalogError, QueryError, SchemaError
+from repro.sql.parser import (
+    Condition,
+    ConditionGroup,
+    Delete,
+    Explain,
+    Insert,
+    Parameter,
+    Select,
+    Update,
+    parse_statement,
+)
+from repro.storage.schema import FieldType
+
+
+def contains_parameters(statement) -> bool:
+    """Whether any ``?`` placeholder remains in the statement."""
+    return bool(_parameter_slots(statement))
+
+
+def _condition_parameters(conditions) -> List[Tuple[Parameter, str]]:
+    """(parameter, column) pairs from a condition tuple/tree."""
+    found: List[Tuple[Parameter, str]] = []
+    for node in conditions:
+        if isinstance(node, ConditionGroup):
+            found.extend(_condition_parameters(node.children))
+        elif isinstance(node, Condition):
+            if isinstance(node.value, Parameter):
+                found.append((node.value, node.column))
+            if isinstance(node.high, Parameter):
+                found.append((node.high, node.column))
+    return found
+
+
+def _parameter_slots(statement) -> List[Tuple[Parameter, Optional[str], Optional[int]]]:
+    """Every parameter with its (column, insert-position) context.
+
+    ``column`` is set for condition/assignment parameters, the integer
+    position for INSERT row parameters; both None when the context gives
+    no typing information.
+    """
+    slots: List[Tuple[Parameter, Optional[str], Optional[int]]] = []
+    if isinstance(statement, Explain):
+        statement = statement.select
+    if isinstance(statement, (Select, Delete)):
+        for param, column in _condition_parameters(statement.conditions):
+            slots.append((param, column, None))
+    elif isinstance(statement, Update):
+        for column, value in statement.assignments:
+            if isinstance(value, Parameter):
+                slots.append((value, column, None))
+        for param, column in _condition_parameters(statement.conditions):
+            slots.append((param, column, None))
+    elif isinstance(statement, Insert):
+        for row in statement.rows:
+            for position, value in enumerate(row):
+                if isinstance(value, Parameter):
+                    slots.append((value, None, position))
+    return slots
+
+
+def _bind_conditions(conditions, values: Sequence[Any]):
+    bound = []
+    for node in conditions:
+        if isinstance(node, ConditionGroup):
+            bound.append(
+                ConditionGroup(node.op, _bind_conditions(node.children, values))
+            )
+        elif isinstance(node, Condition):
+            value, high = node.value, node.high
+            if isinstance(value, Parameter):
+                value = values[value.index]
+            if isinstance(high, Parameter):
+                high = values[high.index]
+            bound.append(Condition(node.column, node.op, value, high))
+        else:
+            bound.append(node)
+    return tuple(bound)
+
+
+def bind_statement(statement, values: Sequence[Any]):
+    """A copy of ``statement`` with every ``?`` replaced by its value."""
+    if isinstance(statement, Explain):
+        return Explain(bind_statement(statement.select, values))
+    if isinstance(statement, (Select, Delete)):
+        return dataclasses.replace(
+            statement, conditions=_bind_conditions(statement.conditions, values)
+        )
+    if isinstance(statement, Update):
+        assignments = tuple(
+            (
+                column,
+                values[value.index] if isinstance(value, Parameter) else value,
+            )
+            for column, value in statement.assignments
+        )
+        return Update(
+            statement.table,
+            assignments,
+            _bind_conditions(statement.conditions, values),
+        )
+    if isinstance(statement, Insert):
+        rows = tuple(
+            tuple(
+                values[v.index] if isinstance(v, Parameter) else v
+                for v in row
+            )
+            for row in statement.rows
+        )
+        return Insert(statement.table, rows)
+    return statement
+
+
+class PreparedStatement:
+    """A parsed, type-inferred SQL statement with ``?`` placeholders."""
+
+    def __init__(self, db, text: str) -> None:
+        self.db = db
+        self.text = text
+        self.statement = parse_statement(text)
+        slots = _parameter_slots(self.statement)
+        indices = sorted({param.index for param, __, __ in slots})
+        self.parameter_count = len(indices)
+        if indices != list(range(self.parameter_count)):
+            raise QueryError("malformed parameter numbering")  # pragma: no cover
+        # Expected logical type per parameter, inferred from the schema
+        # at prepare time (None when the position gives no information).
+        self.parameter_types: List[Optional[FieldType]] = [
+            None
+        ] * self.parameter_count
+        for param, column, position in slots:
+            inferred = self._infer_type(column, position)
+            if inferred is not None:
+                self.parameter_types[param.index] = inferred
+
+    # -- type inference ----------------------------------------------------
+
+    def _tables(self) -> List[str]:
+        statement = self.statement
+        if isinstance(statement, Explain):
+            statement = statement.select
+        tables = [statement.table]
+        if isinstance(statement, Select):
+            tables.extend(join.table for join in statement.joins)
+        return tables
+
+    def _infer_type(
+        self, column: Optional[str], position: Optional[int]
+    ) -> Optional[FieldType]:
+        statement = self.statement
+        if isinstance(statement, Explain):
+            statement = statement.select
+        try:
+            if position is not None:
+                schema = self.db.catalog.relation(statement.table).schema
+                if position < len(schema.fields):
+                    return schema.fields[position].type
+                return None
+            if column is None:
+                return None
+            candidates: List[FieldType] = []
+            if "." in column:
+                qualifier, bare = column.rsplit(".", 1)
+                if qualifier in self._tables():
+                    schema = self.db.catalog.relation(qualifier).schema
+                    if bare in schema.names:
+                        return schema.field(bare).type
+                return None
+            for table in self._tables():
+                schema = self.db.catalog.relation(table).schema
+                if column in schema.names:
+                    candidates.append(schema.field(column).type)
+            if len(candidates) == 1:
+                return candidates[0]
+            return None
+        except CatalogError:
+            return None
+
+    # -- execution ---------------------------------------------------------
+
+    def bind(self, *values: Any):
+        """Type-check ``values`` and return the bound AST."""
+        if len(values) != self.parameter_count:
+            raise QueryError(
+                f"statement takes {self.parameter_count} parameter(s), "
+                f"got {len(values)}"
+            )
+        for index, value in enumerate(values):
+            expected = self.parameter_types[index]
+            if expected is None or value is None:
+                continue
+            try:
+                expected.validate(value)
+            except SchemaError as exc:
+                raise QueryError(
+                    f"parameter {index + 1}: {exc}"
+                ) from None
+        return bind_statement(self.statement, values)
+
+    def execute(self, *values: Any):
+        """Bind ``values`` and run the statement.
+
+        Returns whatever ``db.sql`` would for the same statement type.
+        """
+        bound = self.bind(*values)
+        interpreter = self.db._interpreter()
+        plan_key = None
+        if self.db.plan_cache is not None or self.db.result_cache is not None:
+            from repro.cache.plan_cache import normalize_sql
+
+            try:
+                hash(values)
+            except TypeError:
+                pass  # unhashable binding: run uncached
+            else:
+                plan_key = ("prepared", normalize_sql(self.text), values)
+        return interpreter.run_statement(bound, plan_key)
+
+    def explain(self, *values: Any) -> str:
+        """Plan description for this statement with ``values`` bound."""
+        bound = self.bind(*values)
+        if not isinstance(bound, Select):
+            raise QueryError("explain requires a SELECT statement")
+        return self.db._interpreter().run_statement(Explain(bound), None)

@@ -31,6 +31,19 @@ from repro.storage.schema import FieldType, Schema
 from repro.storage.tuples import TupleRef
 
 
+# Global monotonic clock for relation versions.  Every mutation of any
+# relation takes a fresh tick, so a (name, version) pair is never reused —
+# even across DROP TABLE / CREATE TABLE of the same name — which is what
+# lets the reuse caches validate staleness with one integer comparison.
+_version_clock = 0
+
+
+def _next_version() -> int:
+    global _version_clock
+    _version_clock += 1
+    return _version_clock
+
+
 def _index_covers(index: Index, field_name: str) -> bool:
     """Whether an index's key involves ``field_name`` (handles
     multi-attribute indexes, whose field_name is a tuple)."""
@@ -68,6 +81,12 @@ class Relation:
         self._next_partition_id = 0
         self._indexes: Dict[str, Index] = {}
         self._count = 0
+        # Monotonic version: bumped by every insert/update/delete and by
+        # index DDL (plans depend on available access paths).  Cached
+        # plans/results record the versions they observed; a mismatch
+        # means potential staleness (Section 2.3's temporary lists are
+        # cheap to retain but must never outlive their inputs).
+        self.version = _next_version()
         # Optional hook receiving physical-change events (dicts); the
         # engine installs one to produce write-ahead log records.
         self.change_listener: Optional[Callable[[Dict[str, Any]], None]] = None
@@ -75,6 +94,16 @@ class Relation:
     def _emit(self, event: Dict[str, Any]) -> None:
         if self.change_listener is not None:
             self.change_listener(event)
+
+    def bump_version(self) -> int:
+        """Advance this relation's version (any mutation or index DDL).
+
+        Called *before* the mutation so that a partially applied failure
+        still invalidates dependent cache entries (false invalidation is
+        safe; a stale hit is not).
+        """
+        self.version = _next_version()
+        return self.version
 
     # ------------------------------------------------------------------ #
     # basic properties
@@ -191,6 +220,7 @@ class Relation:
         for ref in self._all_refs():
             index.insert(ref)
         self._indexes[index_name] = index
+        self.bump_version()  # new access path: cached plans are stale
         return index
 
     def index(self, index_name: str) -> Index:
@@ -213,6 +243,7 @@ class Relation:
                 "access is through an index (paper Section 2.1)"
             )
         del self._indexes[index_name]
+        self.bump_version()  # cached plans may rely on the dropped path
 
     def index_on(self, field_name: str, ordered: bool = None) -> Optional[Index]:
         """Find an index keyed on ``field_name``, or None.
@@ -274,6 +305,7 @@ class Relation:
                 f"{self.name}: row has {len(values)} values, schema has "
                 f"{len(self.physical_schema)} fields"
             )
+        self.bump_version()
         heap_bytes = Partition.heap_bytes_for(values)
         part = self._partition_with_room(heap_bytes)
         slot = part.insert(values)
@@ -345,6 +377,7 @@ class Relation:
         field_def = self.physical_schema.fields[position]
         if field_def.type is not FieldType.REF:
             field_def.type.validate(value)
+        self.bump_version()
         affected = [
             idx
             for idx in self._indexes.values()
@@ -413,6 +446,7 @@ class Relation:
 
     def delete(self, ref: TupleRef) -> None:
         """Delete the tuple behind ``ref`` from storage and all indexes."""
+        self.bump_version()
         canonical = self.resolve(ref)
         for index in self._indexes.values():
             index.delete(canonical)
@@ -444,6 +478,7 @@ class Relation:
 
     def adopt_partition(self, partition: Partition) -> None:
         """Install a partition object (used by recovery when reloading)."""
+        self.bump_version()
         self._partitions[partition.id] = partition
         self._next_partition_id = max(self._next_partition_id, partition.id + 1)
 
@@ -453,6 +488,7 @@ class Relation:
         Main-memory indexes are *not* persisted — like the paper's design,
         they are reconstructed from the reloaded partitions.
         """
+        self.bump_version()
         rebuilt: Dict[str, Index] = {}
         for name, old in self._indexes.items():
             options = {}

@@ -1,0 +1,143 @@
+"""Version-based invalidation: mutations, DDL, and transaction aborts."""
+
+from __future__ import annotations
+
+from repro.cache import CacheConfig
+from repro.query.predicates import eq, gt
+from tests.conftest import build_figure1_db
+
+
+def cached_db():
+    db = build_figure1_db()
+    db.configure_cache(CacheConfig())
+    return db
+
+
+class TestVersionCounters:
+    def test_insert_update_delete_bump_versions(self):
+        db = build_figure1_db()
+        emp = db.relation("Employee")
+        v0 = emp.version
+        ref = db.insert("Employee", ["Zed", 99, 33, 459])
+        v1 = emp.version
+        assert v1 > v0
+        db.update("Employee", ref, "Age", 34)
+        v2 = emp.version
+        assert v2 > v1
+        db.delete("Employee", ref)
+        assert emp.version > v2
+
+    def test_index_ddl_bumps_version(self):
+        db = build_figure1_db()
+        emp = db.relation("Employee")
+        before = db.relation("Employee").version
+        db.create_index("Employee", "emp_age", "Age")
+        after_create = emp.version
+        assert after_create > before
+        emp.drop_index("emp_age")
+        assert emp.version > after_create
+
+    def test_versions_globally_monotonic_across_drop_create(self):
+        db = cached_db()
+        db.sql("CREATE TABLE Scratch (K INT, PRIMARY KEY (K))")
+        first = db.relation("Scratch").version
+        db.sql("DROP TABLE Scratch")
+        db.sql("CREATE TABLE Scratch (K INT, PRIMARY KEY (K))")
+        # A re-created relation must never reuse an old version number,
+        # or a cached entry keyed on (name, version) could go stale
+        # silently.
+        assert db.relation("Scratch").version > first
+
+
+class TestResultInvalidation:
+    def test_update_invalidates_cached_select(self):
+        db = cached_db()
+        text = "SELECT Name FROM Employee WHERE Age > 40"
+        before = db.sql(text).materialize()
+        assert ("Cindy",) not in before
+        db.sql("UPDATE Employee SET Age = 41 WHERE Name = 'Cindy'")
+        after = db.sql(text).materialize()
+        assert ("Cindy",) in after
+
+    def test_delete_invalidates_cached_select(self):
+        db = cached_db()
+        text = "SELECT Name FROM Employee WHERE Age > 40"
+        assert ("Yaman",) in db.sql(text).materialize()
+        db.sql("DELETE FROM Employee WHERE Name = 'Yaman'")
+        assert ("Yaman",) not in db.sql(text).materialize()
+
+    def test_insert_into_fk_target_invalidates_join(self):
+        db = cached_db()
+        text = (
+            "SELECT Employee.Name, Department.Name FROM Employee "
+            "JOIN Department ON Dept_Id = Id"
+        )
+        first = db.sql(text).materialize()
+        # Renaming a department must be visible through the cached join
+        # even though only the *inner* (FK target) relation changed.
+        db.sql("UPDATE Department SET Name = 'Games' WHERE Id = 459")
+        second = db.sql(text).materialize()
+        assert first != second
+        assert any(dept == "Games" for __, dept in second)
+
+    def test_index_ddl_invalidates_cached_plan(self):
+        db = cached_db()
+        text = "SELECT Name FROM Employee WHERE Age > 40"
+        db.sql(text)
+        invalidations_before = db.cache_stats()["plan"]["invalidations"]
+        db.sql("CREATE INDEX emp_age ON Employee (Age)")
+        db.sql(text)  # must re-plan: a better access path now exists
+        stats = db.cache_stats()
+        assert stats["plan"]["invalidations"] > invalidations_before
+        explained = db.sql("EXPLAIN " + text)
+        assert "Range" in explained or "range" in explained
+
+    def test_drop_table_invalidates(self):
+        db = cached_db()
+        db.sql("CREATE TABLE Scratch (K INT, V INT, PRIMARY KEY (K))")
+        db.sql("INSERT INTO Scratch VALUES (1, 10)")
+        assert db.sql("SELECT V FROM Scratch WHERE K = 1").materialize() == [(10,)]
+        db.sql("DROP TABLE Scratch")
+        db.sql("CREATE TABLE Scratch (K INT, V INT, PRIMARY KEY (K))")
+        db.sql("INSERT INTO Scratch VALUES (1, 77)")
+        assert db.sql("SELECT V FROM Scratch WHERE K = 1").materialize() == [(77,)]
+
+    def test_fk_rewrite_never_matches_refreshes(self):
+        db = cached_db()
+        # No department 999 yet: the FK equality rewrites to match-nothing.
+        text = "SELECT Name FROM Employee WHERE Dept_Id = 999"
+        assert db.sql(text).materialize() == []
+        db.sql("INSERT INTO Department VALUES ('Lab', 999)")
+        db.sql("INSERT INTO Employee VALUES ('Nia', 77, 30, 999)")
+        assert db.sql(text).materialize() == [("Nia",)]
+
+
+class TestTransactions:
+    def test_aborted_transaction_leaves_cache_correct(self):
+        db = cached_db()
+        text_pred = gt("Age", 40)
+        baseline = db.sql("SELECT Name FROM Employee WHERE Age > 40").materialize()
+        txn = db.begin()
+        ref = db.select("Employee", eq("Name", "Cindy")).rows()[0][0]
+        db.update("Employee", ref, "Age", 80, txn=txn)
+        txn.abort()
+        # Updates are deferred to commit, so the abort changed nothing;
+        # the cached result must still be the truth.
+        assert (
+            db.sql("SELECT Name FROM Employee WHERE Age > 40").materialize()
+            == baseline
+        )
+        assert {row[1] for row in db.select("Employee", text_pred).materialize()} == {
+            row[1] for row in db.select("Employee", text_pred).materialize()
+        }
+
+    def test_committed_transaction_invalidates(self):
+        db = cached_db()
+        text = "SELECT Name FROM Employee WHERE Age > 40"
+        before = db.sql(text).materialize()
+        assert ("Cindy",) not in before
+        txn = db.begin()
+        ref = db.select("Employee", eq("Name", "Cindy")).rows()[0][0]
+        db.update("Employee", ref, "Age", 80, txn=txn)
+        txn.commit()
+        assert ("Cindy",) in db.sql(text).materialize()

@@ -1,0 +1,120 @@
+"""Prepared statements: parsing, typed binding, and differential checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.errors import QueryError
+from repro.sql.parser import Parameter, parse_statement
+from tests.conftest import build_figure1_db
+
+
+class TestParsing:
+    def test_placeholders_parse_positionally(self):
+        stmt = parse_statement(
+            "SELECT Name FROM Employee WHERE Age > ? AND Id = ?"
+        )
+        values = [cond.value for cond in stmt.conditions]
+        assert values == [Parameter(0), Parameter(1)]
+
+    def test_placeholders_in_between_insert_update(self):
+        between = parse_statement(
+            "SELECT * FROM Employee WHERE Age BETWEEN ? AND ?"
+        )
+        assert between.conditions[0].value == Parameter(0)
+        assert between.conditions[0].high == Parameter(1)
+        insert = parse_statement("INSERT INTO Department VALUES (?, ?)")
+        assert insert.rows[0] == (Parameter(0), Parameter(1))
+        update = parse_statement("UPDATE Employee SET Age = ? WHERE Id = ?")
+        assert update.assignments[0] == ("Age", Parameter(0))
+
+    def test_raw_sql_with_placeholder_is_an_error(self):
+        db = build_figure1_db()
+        with pytest.raises(QueryError, match="prepare"):
+            db.sql("SELECT Name FROM Employee WHERE Id = ?")
+
+
+class TestBinding:
+    def test_type_inference_and_validation(self):
+        db = build_figure1_db()
+        stmt = db.prepare("SELECT Name FROM Employee WHERE Id = ?")
+        assert stmt.parameter_count == 1
+        with pytest.raises(QueryError, match="parameter 1"):
+            stmt.execute("not-an-int")
+
+    def test_wrong_arity_rejected(self):
+        db = build_figure1_db()
+        stmt = db.prepare("SELECT Name FROM Employee WHERE Id = ?")
+        with pytest.raises(QueryError, match="parameter"):
+            stmt.execute()
+        with pytest.raises(QueryError, match="parameter"):
+            stmt.execute(1, 2)
+
+    def test_null_binding_allowed(self):
+        db = build_figure1_db()
+        stmt = db.prepare("SELECT Name FROM Employee WHERE Age = ?")
+        assert stmt.execute(None).materialize() == []
+
+    def test_qualified_column_type_inference(self):
+        db = build_figure1_db()
+        stmt = db.prepare(
+            "SELECT Employee.Name FROM Employee "
+            "JOIN Department ON Dept_Id = Id WHERE Department.Name = ?"
+        )
+        with pytest.raises(QueryError, match="parameter 1"):
+            stmt.execute(42)
+        names = sorted(stmt.execute("Toy").materialize())
+        assert names == [("Dave",), ("Suzan",)]
+
+    def test_fk_column_binds_logical_value(self):
+        db = build_figure1_db()
+        stmt = db.prepare("SELECT Name FROM Employee WHERE Dept_Id = ?")
+        assert sorted(stmt.execute(411).materialize()) == [
+            ("Jane",), ("Yaman",),
+        ]
+
+
+class TestDifferential:
+    """Prepared executions must match the literal-SQL uncached path."""
+
+    CASES = [
+        ("SELECT Name FROM Employee WHERE Id = ?", (23,),
+         "SELECT Name FROM Employee WHERE Id = 23"),
+        ("SELECT Name FROM Employee WHERE Age BETWEEN ? AND ?", (25, 50),
+         "SELECT Name FROM Employee WHERE Age BETWEEN 25 AND 50"),
+        ("SELECT Name FROM Employee WHERE Age > ? ORDER BY Name", (30,),
+         "SELECT Name FROM Employee WHERE Age > 30 ORDER BY Name"),
+    ]
+
+    @pytest.mark.parametrize("prepared_text,args,literal_text", CASES)
+    def test_matches_uncached_literal(self, prepared_text, args, literal_text):
+        plain = build_figure1_db()
+        expected = plain.sql(literal_text).materialize()
+
+        cached = build_figure1_db()
+        cached.configure_cache(CacheConfig())
+        stmt = cached.prepare(prepared_text)
+        # twice: once cold, once through the caches
+        assert stmt.execute(*args).materialize() == expected
+        assert stmt.execute(*args).materialize() == expected
+
+    def test_distinct_bindings_distinct_results(self):
+        db = build_figure1_db()
+        db.configure_cache(CacheConfig())
+        stmt = db.prepare("SELECT Name FROM Employee WHERE Id = ?")
+        assert stmt.execute(23).materialize() == [("Dave",)]
+        assert stmt.execute(44).materialize() == [("Yaman",)]
+        assert stmt.execute(23).materialize() == [("Dave",)]
+
+    def test_prepared_insert_and_update(self):
+        db = build_figure1_db()
+        insert = db.prepare("INSERT INTO Employee VALUES (?, ?, ?, ?)")
+        insert.execute("Zed", 99, 33, 459)
+        assert db.sql(
+            "SELECT Name FROM Employee WHERE Id = 99"
+        ).materialize() == [("Zed",)]
+        update = db.prepare("UPDATE Employee SET Age = ? WHERE Id = ?")
+        assert update.execute(34, 99) == 1
+        row = db.sql("SELECT Age FROM Employee WHERE Id = 99").materialize()
+        assert row == [(34,)]

@@ -1,0 +1,91 @@
+"""Optimizer determinism: same catalog state ⇒ structurally equal plans.
+
+The plan cache assumes optimizing a statement twice against an unchanged
+catalog yields the same plan; these are the regression tests for that
+contract, including the stale-statistics case the version-keyed stats
+cache fixes (an update can change distinct counts without changing the
+relation's cardinality).
+"""
+
+from __future__ import annotations
+
+from repro import Field, FieldType, MainMemoryDatabase
+from repro.query.predicates import between, gt
+from tests.conftest import build_figure1_db
+
+
+def build_keyed_pair(rows: int = 200) -> MainMemoryDatabase:
+    """L and R with indexed, initially all-distinct ``join_key`` columns."""
+    db = MainMemoryDatabase()
+    for name in ("L", "R"):
+        db.create_relation(
+            name,
+            [Field("Id", FieldType.INT), Field("join_key", FieldType.INT)],
+            primary_key="Id",
+        )
+        db.create_index(name, f"{name.lower()}_jk", "join_key")
+        for i in range(rows):
+            db.insert(name, [i, i])
+    return db
+
+
+class TestPlanEquality:
+    def test_selection_planned_twice_is_equal(self):
+        db = build_figure1_db()
+        db.create_index("Employee", "emp_age", "Age")
+        first = db.selection_plan("Employee", between("Age", 25, 50))
+        second = db.selection_plan("Employee", between("Age", 25, 50))
+        assert first == second
+
+    def test_join_planned_twice_is_equal(self):
+        db = build_figure1_db()
+        first = db.join_plan("Employee", "Department", on=("Dept_Id", "Id"))
+        second = db.join_plan("Employee", "Department", on=("Dept_Id", "Id"))
+        assert first == second
+
+    def test_planning_does_not_mutate_catalog_choice(self):
+        # Planning twice with interleaved unrelated plans must not change
+        # the outcome (no hidden state left behind by earlier plans).
+        db = build_figure1_db()
+        probe = db.selection_plan("Employee", gt("Age", 30))
+        db.selection_plan("Department", gt("Id", 400))
+        db.join_plan("Employee", "Department", on=("Dept_Id", "Id"))
+        assert db.selection_plan("Employee", gt("Age", 30)) == probe
+
+    def test_generated_join_planned_twice_is_equal(self):
+        db = build_keyed_pair()
+        first = db.join_plan("L", "R", on=("join_key", "join_key"))
+        second = db.join_plan("L", "R", on=("join_key", "join_key"))
+        assert first == second
+
+
+class TestStatisticsFreshness:
+    def test_stats_refresh_when_distinct_changes_without_cardinality(self):
+        db = build_keyed_pair(rows=200)
+        left = db.relation("L")
+        stats_before = db.optimizer.column_stats(left, "join_key")
+        assert (stats_before.cardinality, stats_before.distinct) == (200, 200)
+        # Collapse every join key to one value through updates: the
+        # cardinality is unchanged, but the duplicate fraction is now ~1.
+        for row in db.select("L").rows():
+            db.update("L", row[0], "join_key", 1)
+        stats_after = db.optimizer.column_stats(left, "join_key")
+        assert stats_after.cardinality == 200
+        assert stats_after.distinct == 1
+
+    def test_join_method_reacts_to_updated_statistics(self):
+        db = build_keyed_pair(rows=200)
+        before = db.optimizer.choose_join_method(
+            db.relation("L"), db.relation("R"), "join_key", "join_key"
+        )
+        assert before == "tree_merge"
+        for name in ("L", "R"):
+            for row in db.select(name).rows():
+                db.update(name, row[0], "join_key", 1)
+        after = db.optimizer.choose_join_method(
+            db.relation("L"), db.relation("R"), "join_key", "join_key"
+        )
+        # At ~100% duplicates Sort Merge wins (Graph 8); with the old
+        # cardinality-keyed stats cache the stale distinct counts would
+        # keep the tree-merge choice.
+        assert after == "sort_merge"
