@@ -1,0 +1,118 @@
+"""Micro-benchmark: what does a disabled ``count_*`` helper cost?
+
+The paper compiled its Section 3.1 validation counters out for the final
+timed runs.  The Python equivalent, ``set_counters_enabled(False)``,
+cannot remove the call sites — callers import the helpers by value — so
+a disabled helper still costs one function call, one global load, and
+one branch.  This benchmark quantifies that residue three ways over the
+same workload (a T-Tree build plus a full probe sweep, the counter-
+densest paths in the engine):
+
+* ``enabled``  — counters on (the default), ops recorded;
+* ``disabled`` — counters off, every helper an early-return no-op;
+* series ``calls/sec`` on a bare helper loop, isolating the per-call
+  price of ``count_compare`` itself in both states.
+
+The index workload's wall-clock ratio is what a user pays for leaving
+counters on; the bare-loop numbers are the honest per-call overhead.
+"""
+
+from __future__ import annotations
+
+import time
+
+try:
+    from benchmarks.harness import SeriesCollector, scaled
+except ImportError:  # pragma: no cover - direct execution
+    from harness import SeriesCollector, scaled
+
+from repro.indexes.ttree import TTreeIndex
+from repro.instrument import (
+    count_compare,
+    counters_scope,
+    set_counters_enabled,
+)
+
+_KEYS = scaled(30_000)  # 3,000 by default
+_HELPER_CALLS = scaled(2_000_000)  # 200,000 by default
+
+
+def _index_workload() -> int:
+    """Build a T-Tree of _KEYS keys, then probe every key once."""
+    index = TTreeIndex()
+    for key in range(_KEYS):
+        index.insert(key)
+    found = 0
+    for key in range(_KEYS):
+        if index.search(key) is not None:
+            found += 1
+    return found
+
+
+def _timed_index_pass() -> float:
+    with counters_scope():
+        start = time.perf_counter()
+        _index_workload()
+        return time.perf_counter() - start
+
+
+def _timed_helper_loop(calls: int) -> float:
+    with counters_scope():
+        start = time.perf_counter()
+        for __ in range(calls):
+            count_compare()
+        return time.perf_counter() - start
+
+
+def run_counter_overhead_benchmark():
+    """(series, summary) comparing enabled vs disabled counters."""
+    set_counters_enabled(True)
+    _timed_index_pass()  # warm-up: import costs, allocator, caches
+    enabled_index = _timed_index_pass()
+    enabled_loop = _timed_helper_loop(_HELPER_CALLS)
+    try:
+        set_counters_enabled(False)
+        disabled_index = _timed_index_pass()
+        disabled_loop = _timed_helper_loop(_HELPER_CALLS)
+    finally:
+        set_counters_enabled(True)
+
+    series = SeriesCollector(
+        f"Counter overhead: T-Tree build+probe of {_KEYS} keys, "
+        f"{_HELPER_CALLS} bare count_compare() calls",
+        "mode",
+        ["index_seconds", "helper_loop_seconds", "ns_per_call"],
+    )
+    for mode, index_secs, loop_secs in (
+        ("enabled", enabled_index, enabled_loop),
+        ("disabled", disabled_index, disabled_loop),
+    ):
+        series.add(
+            mode,
+            index_seconds=index_secs,
+            helper_loop_seconds=loop_secs,
+            ns_per_call=loop_secs / _HELPER_CALLS * 1e9,
+        )
+    summary = {
+        "keys": _KEYS,
+        "helper_calls": _HELPER_CALLS,
+        "index_slowdown_enabled_vs_disabled": round(
+            enabled_index / max(disabled_index, 1e-12), 3
+        ),
+        "helper_call_ratio": round(
+            enabled_loop / max(disabled_loop, 1e-12), 3
+        ),
+    }
+    return series, summary
+
+
+def test_counter_overhead():
+    series, summary = run_counter_overhead_benchmark()
+    series.publish("counter_overhead", extra=summary)
+    # Sanity only — absolute timings vary by machine.  Disabling must
+    # never make the instrumented workload dramatically slower.
+    assert summary["index_slowdown_enabled_vs_disabled"] > 0.5, summary
+
+
+if __name__ == "__main__":
+    test_counter_overhead()

@@ -20,13 +20,22 @@ from __future__ import annotations
 
 try:
     from benchmarks.harness import (
+        SPANS_MODE,
         SeriesCollector,
         bench_rng,
         measure,
         scaled,
+        serialize_spans,
     )
 except ImportError:  # pragma: no cover - direct execution
-    from harness import SeriesCollector, bench_rng, measure, scaled
+    from harness import (
+        SPANS_MODE,
+        SeriesCollector,
+        bench_rng,
+        measure,
+        scaled,
+        serialize_spans,
+    )
 
 from repro.cache import CacheConfig
 from repro.engine.database import MainMemoryDatabase
@@ -98,7 +107,9 @@ def _workload(db: MainMemoryDatabase):
 
 
 def run_plan_cache_benchmark(repeats: int = REPEATS):
-    """(series, summary) for the cached-vs-uncached comparison."""
+    """(series, summary, spans) for the cached-vs-uncached comparison;
+    ``spans`` is a serialized per-operator breakdown when
+    :data:`SPANS_MODE` is on, else None."""
     db = _build_db()
 
     def run_many():
@@ -143,12 +154,31 @@ def run_plan_cache_benchmark(repeats: int = REPEATS):
         "cached_counters": cached.as_dict(),
         "cache_stats": db.cache_stats(),
     }
-    return series, summary
+    spans = _collect_spans(db) if SPANS_MODE else None
+    return series, summary, spans
+
+
+def _collect_spans(db: MainMemoryDatabase):
+    """One traced pass over the workload → serialized root spans.
+
+    Runs *after* the timed passes so tracing overhead never touches the
+    published numbers; observability is torn down again before returning.
+    """
+    from repro.obs import ObservabilityConfig
+
+    obs = db.configure_observability(ObservabilityConfig(metrics=False))
+    try:
+        _workload(db)
+        return serialize_spans(obs.recent_spans())
+    finally:
+        db.configure_observability(
+            ObservabilityConfig(tracing=False, metrics=False)
+        )
 
 
 def test_plan_cache_speedup():
-    series, summary = run_plan_cache_benchmark()
-    series.publish("plan_cache", extra=summary)
+    series, summary, spans = run_plan_cache_benchmark()
+    series.publish("plan_cache", extra=summary, spans=spans)
     print(f"total-operation reduction: {summary['ratio_total_ops']}x")
     assert summary["ratio_total_ops"] >= 5.0, summary
 

@@ -38,6 +38,14 @@ JSON_MODE = "--json" in sys.argv or os.environ.get("REPRO_JSON", "") not in (
     "", "0"
 )
 
+#: ``--spans`` or REPRO_SPANS=1: benchmarks that support it embed a
+#: per-operator span breakdown (name, kind, counters, rows, wall-clock)
+#: under ``spans`` in their BENCH_*.json document.  Implies JSON mode.
+SPANS_MODE = "--spans" in sys.argv or os.environ.get(
+    "REPRO_SPANS", ""
+) not in ("", "0")
+JSON_MODE = JSON_MODE or SPANS_MODE
+
 #: Deterministic seed shared by every benchmark.
 SEED = 19860528  # SIGMOD'86 was held in late May 1986.
 
@@ -151,14 +159,21 @@ class SeriesCollector:
     def render(self) -> str:
         return format_table(self.title, self.x_label, self.columns, self.rows())
 
-    def publish(self, name: str, extra: Dict[str, Any] = None) -> None:
+    def publish(
+        self,
+        name: str,
+        extra: Dict[str, Any] = None,
+        spans: List[Dict[str, Any]] = None,
+    ) -> None:
         """Print the table and save it under benchmarks/results/.
 
         pytest captures stdout by default; the saved file preserves the
         regenerated series either way.  In JSON mode (``--json`` or
         ``REPRO_JSON=1``) a machine-readable ``BENCH_<name>.json`` is
         written alongside, carrying the series points plus any ``extra``
-        payload (e.g. raw counter dicts).
+        payload (e.g. raw counter dicts).  ``spans`` (typically gathered
+        via :func:`serialize_spans` when :data:`SPANS_MODE` is on) embeds
+        a per-operator breakdown in the document.
         """
         text = self.render()
         print()
@@ -166,7 +181,7 @@ class SeriesCollector:
         print()
         save_result(name, text)
         if JSON_MODE:
-            save_result_json(name, self, extra)
+            save_result_json(name, self, extra, spans)
 
 
 def save_result(name: str, text: str) -> str:
@@ -180,13 +195,17 @@ def save_result(name: str, text: str) -> str:
 
 
 def save_result_json(
-    name: str, series: "SeriesCollector", extra: Dict[str, Any] = None
+    name: str,
+    series: "SeriesCollector",
+    extra: Dict[str, Any] = None,
+    spans: List[Dict[str, Any]] = None,
 ) -> str:
     """Write ``benchmarks/results/BENCH_<name>.json``.
 
     The document is self-describing: series name, axis labels, the
     points as ``{x, values}`` records, wall-clock/timestamp metadata,
-    and whatever the caller adds under ``extra``.
+    and whatever the caller adds under ``extra``.  ``spans`` embeds a
+    per-operator span breakdown (see :func:`serialize_spans`).
     """
     results_dir = os.path.join(os.path.dirname(__file__), "results")
     os.makedirs(results_dir, exist_ok=True)
@@ -205,7 +224,14 @@ def save_result_json(
     }
     if extra:
         document["extra"] = extra
+    if spans:
+        document["spans"] = spans
     with open(path, "w") as handle:
         json.dump(document, handle, indent=2, default=str)
         handle.write("\n")
     return path
+
+
+def serialize_spans(roots: Iterable[Any]) -> List[Dict[str, Any]]:
+    """Root :class:`~repro.obs.Span` objects → JSON-ready dicts."""
+    return [root.to_dict() for root in roots]

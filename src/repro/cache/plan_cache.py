@@ -26,8 +26,16 @@ from repro.cache.fingerprint import (
 )
 from repro.cache.lru import LRUCache
 from repro.errors import CatalogError
+from repro.obs import runtime as obs_runtime
 
 _WHITESPACE = re.compile(r"\s+")
+
+
+def _record(layer: str, outcome: str) -> None:
+    """Count one cache request into the active metrics registry."""
+    obs = obs_runtime.active()
+    if obs is not None:
+        obs.metric_inc("cache_requests_total", layer=layer, outcome=outcome)
 
 
 def normalize_sql(text: str) -> str:
@@ -57,7 +65,9 @@ class PlanCache:
 
     def statement_for(self, key: Any):
         """Cached parsed AST for a normalized statement key, or None."""
-        return self.ast_cache.get(key)
+        statement = self.ast_cache.get(key)
+        _record("ast", "miss" if statement is None else "hit")
+        return statement
 
     def store_statement(self, key: Any, statement) -> None:
         self.ast_cache.put(key, statement)
@@ -72,6 +82,7 @@ class PlanCache:
         """
         entry = self.plan_cache.get(key)
         if entry is None:
+            _record("plan", "miss")
             return None
         plan, versions = entry
         for name, version in versions.items():
@@ -81,7 +92,9 @@ class PlanCache:
                 relation = None
             if relation is None or relation.version != version:
                 self.plan_cache.invalidate(key)
+                _record("plan", "stale")
                 return None
+        _record("plan", "hit")
         return plan
 
     def store_plan(self, key: Any, plan, catalog) -> None:

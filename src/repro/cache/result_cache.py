@@ -33,6 +33,7 @@ from repro.cache.fingerprint import (
 from repro.cache.lru import LRUCache
 from repro.errors import CatalogError
 from repro.instrument import count_move
+from repro.obs import runtime as obs_runtime
 from repro.query.aggregate import ValueTable
 from repro.storage.temporary import TemporaryList
 
@@ -98,14 +99,38 @@ class ResultCache:
     # -- shared internals --------------------------------------------------
 
     def _lookup(self, key: Tuple) -> Optional[Any]:
+        obs = obs_runtime.active()
+        layer = key[0] if isinstance(key, tuple) else "result"
+        with (
+            obs_runtime.NULL_SPAN
+            if obs is None
+            else obs.span(f"ResultCache[{layer}]", "cache", layer=layer)
+        ) as span:
+            outcome, payload = self._lookup_inner(key)
+            if span is not None:
+                span.attrs["outcome"] = outcome
+                if payload is not None:
+                    span.rows_out = self._payload_rows(payload)
+        if obs is not None:
+            obs.metric_inc("cache_requests_total", layer="result", outcome=outcome)
+        return payload
+
+    def _lookup_inner(self, key: Tuple) -> Tuple[str, Optional[Any]]:
         entry = self.cache.get(key)
         if entry is None:
-            return None
+            return "miss", None
         versions, payload = entry
         if not versions_current(self.catalog, versions):
             self.cache.invalidate(key)
+            return "stale", None
+        return "hit", _snapshot(payload)
+
+    @staticmethod
+    def _payload_rows(payload: Any) -> Optional[int]:
+        try:
+            return len(payload)
+        except TypeError:
             return None
-        return _snapshot(payload)
 
     def clear(self) -> None:
         self.cache.clear()

@@ -129,6 +129,7 @@ class MainMemoryDatabase:
         )
         self.plan_cache = None
         self.result_cache = None
+        self.observability = None
         if cache is not None:
             self.configure_cache(cache)
         # The transaction id used for log records when no transaction is
@@ -162,6 +163,41 @@ class MainMemoryDatabase:
             else None
         )
         self.executor.result_cache = self.result_cache
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+
+    def configure_observability(self, config=None):
+        """Install (or reconfigure) query tracing and metrics.
+
+        ``config`` is an :class:`~repro.obs.ObservabilityConfig`; ``None``
+        enables the defaults (span tracing + metrics + slow-query log).
+        The instance is activated *process-wide* — the engine's
+        instrumentation hooks consult a module-level slot, exactly like
+        the operation-counter stack — so the most recently configured
+        database wins.  Passing a config with both tracing and metrics
+        disabled deactivates observability entirely and restores the
+        zero-overhead hooks.
+
+        Returns the installed :class:`~repro.obs.Observability` (or None
+        when disabling).
+        """
+        from repro.obs import Observability, ObservabilityConfig
+        from repro.obs import runtime as obs_runtime
+
+        if config is None:
+            config = ObservabilityConfig()
+        if not config.enabled:
+            if self.observability is not None and (
+                obs_runtime.active() is self.observability
+            ):
+                obs_runtime.deactivate()
+            self.observability = None
+            return None
+        self.observability = Observability(config)
+        obs_runtime.activate(self.observability)
+        return self.observability
 
     def cache_stats(self) -> Dict[str, Any]:
         """Hit/miss/eviction statistics for every installed cache layer."""

@@ -22,6 +22,7 @@ from typing import Any, Callable, Iterator, List, Optional, Tuple
 
 from repro.errors import DuplicateKeyError, KeyNotFoundError
 from repro.instrument import count_compare
+from repro.obs import runtime as obs_runtime
 
 #: Size of one pointer (to a tuple or an index node) in bytes.  The VAX of
 #: the paper, like the paper's own accounting ("4 bytes of pointer overhead
@@ -120,6 +121,29 @@ class Index(ABC):
     # ------------------------------------------------------------------ #
     # conveniences shared by all structures
     # ------------------------------------------------------------------ #
+
+    def probe_all(self, key: Any) -> List[Any]:
+        """:meth:`search_all`, attributed to the active observability.
+
+        The executor's index-access paths call this instead of
+        ``search_all`` directly so that, when observability is active, the
+        probe shows up as a child span of the operator that issued it (with
+        its own counter roll-up and result cardinality) and bumps the
+        ``index_probes_total{kind}`` metric.  With observability off this
+        is a single global load plus the plain ``search_all`` call — no
+        extra operation counts either way.
+        """
+        obs = obs_runtime.active()
+        if obs is None:
+            return self.search_all(key)
+        with obs.span(
+            f"IndexProbe[{self.kind}]", "index", index_kind=self.kind
+        ) as probe:
+            items = self.search_all(key)
+            if probe is not None:
+                probe.rows_out = len(items)
+        obs.metric_inc("index_probes_total", kind=self.kind)
+        return items
 
     def __len__(self) -> int:
         return self._count

@@ -9,15 +9,16 @@ The module keeps a stack of active :class:`OpCounters`.  Library code calls
 the tiny ``count_*`` helpers; when no scope is active the helpers update a
 throwaway default instance, so instrumented code never needs to check for
 ``None``.  The paper compiled its counters out for the final timing runs;
-the equivalent here is :func:`set_counters_enabled`, which swaps the helpers
-to no-ops.
+the equivalent here is :func:`set_counters_enabled`, which makes every
+helper an early-return no-op (see its docstring for why the helpers are
+flag-checked rather than rebound).
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field, fields
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional
 
 
 @dataclass
@@ -151,12 +152,18 @@ def current_counters() -> OpCounters:
 
 
 @contextmanager
-def counters_scope(counters: OpCounters = None) -> Iterator[OpCounters]:
+def counters_scope(
+    counters: Optional[OpCounters] = None, rollup: bool = False
+) -> Iterator[OpCounters]:
     """Activate ``counters`` (or a fresh instance) for the ``with`` body.
 
-    Nested scopes do *not* automatically roll up into their parents; each
-    scope observes exactly the operations executed while it is innermost.
-    Callers that want roll-up can ``merge`` explicitly.
+    By default nested scopes do *not* roll up into their parents; each
+    scope observes exactly the operations executed while it is innermost,
+    and those operations are invisible to the enclosing scope.  With
+    ``rollup=True`` the popped scope is merged into its parent on exit,
+    so enclosing scopes see every operation of their children — the
+    behaviour the tracing layer's span tree relies on (a parent span's
+    counters are the inclusive sum of its own work plus its children's).
     """
     scope = counters if counters is not None else OpCounters()
     _stack.append(scope)
@@ -164,13 +171,22 @@ def counters_scope(counters: OpCounters = None) -> Iterator[OpCounters]:
         yield scope
     finally:
         _stack.pop()
+        if rollup:
+            _stack[-1].merge(scope)
 
 
 def set_counters_enabled(enabled: bool) -> None:
     """Globally enable or disable counting.
 
-    Disabling replaces the helpers' effect, mirroring the paper's practice
-    of compiling counters out for the final timed runs.
+    Disabling makes every ``count_*`` helper an early-return no-op by
+    flipping a module flag that each helper checks per call.  The helpers
+    are *not* rebound to empty functions: callers throughout the codebase
+    import them by value (``from repro.instrument import count_compare``),
+    so a rebinding here would never reach those call sites.  The residual
+    per-call cost is one global load and branch — measured by
+    ``benchmarks/bench_counter_overhead.py``, which is the closest a
+    Python reproduction gets to the paper's practice of compiling the
+    counters out for the final timed runs.
     """
     global _enabled
     _enabled = enabled

@@ -1,0 +1,47 @@
+"""Observability: per-operator span tracing, EXPLAIN ANALYZE, and a
+metrics registry with exporters.
+
+The paper validated every reported timing "by recording and examining
+the number of comparisons, the amount of data movement, the number of
+hash function calls" (Section 3.1).  This package attributes those same
+counters to individual operators, index probes, join phases, and cache
+lookups — per query — instead of one flat scope per benchmark:
+
+* :mod:`repro.obs.span` — span trees with roll-up ``OpCounters``;
+* :mod:`repro.obs.metrics` — counters / gauges / fixed-bucket histograms
+  with JSON-lines and Prometheus-text exporters;
+* :mod:`repro.obs.explain` — EXPLAIN / EXPLAIN ANALYZE rendering with
+  estimated vs. actual rows;
+* :mod:`repro.obs.core` — the :class:`Observability` facade plus the
+  slow-query log;
+* :mod:`repro.obs.runtime` — the process-wide active instance consulted
+  by the engine's hooks (all of which are no-ops by default).
+
+Everything is off until ``db.configure_observability(...)`` opts in,
+preserving the paper's "compile the counters out for the timed runs"
+discipline.
+"""
+
+from repro.obs.config import ObservabilityConfig
+from repro.obs.core import Observability, SlowQueryEntry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.span import Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Observability",
+    "ObservabilityConfig",
+    "SlowQueryEntry",
+    "Span",
+    "SpanTracer",
+]

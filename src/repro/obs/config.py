@@ -1,0 +1,57 @@
+"""Configuration knobs for the observability subsystem.
+
+Observability is **off by default**, preserving the paper's discipline of
+compiling the counters out for the timed runs: a
+:class:`~repro.engine.database.MainMemoryDatabase` that never calls
+``configure_observability`` executes queries with zero tracing overhead
+and identical operation counts.  Everything below is opt-in via
+``db.configure_observability(ObservabilityConfig(...))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: Wall-clock histogram buckets for query latency, in seconds.  Python
+#: constant factors put even point lookups in the 10us-1ms range, so the
+#: buckets sweep 100us .. 10s.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Machine-independent histogram buckets for total operations per query
+#: (comparisons + moves + hashes + traversals + allocations + events).
+DEFAULT_OPS_BUCKETS: Tuple[float, ...] = (
+    10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000,
+    10_000, 25_000, 50_000, 100_000, 500_000, 1_000_000,
+)
+
+
+@dataclass
+class ObservabilityConfig:
+    """Enable flags and sizing for tracing, metrics, and the slow log."""
+
+    #: Build a span tree (parse -> plan -> per-operator execute) per query.
+    tracing: bool = True
+    #: Maintain the process-wide metrics registry.
+    metrics: bool = True
+    #: Total-ops threshold above which a statement lands in the slow-query
+    #: log; ``None`` disables the slow log entirely.
+    slow_query_ops: Optional[int] = 10_000
+    #: How many completed root spans (recent queries) the tracer retains.
+    max_recent_spans: int = 32
+    #: How many slow-query entries are retained (oldest evicted first).
+    max_slow_queries: int = 128
+    #: Query latency histogram buckets (seconds).
+    latency_buckets: Tuple[float, ...] = field(
+        default=DEFAULT_LATENCY_BUCKETS
+    )
+    #: Ops-per-query histogram buckets (operation counts).
+    ops_buckets: Tuple[float, ...] = field(default=DEFAULT_OPS_BUCKETS)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any layer is on."""
+        return self.tracing or self.metrics

@@ -1,0 +1,243 @@
+"""Plan rendering with estimated and actual costs.
+
+Two surfaces share the helpers here:
+
+* ``EXPLAIN <select>`` — the optimizer's plan tree annotated with
+  *estimated* rows per operator (no execution); and
+* ``EXPLAIN ANALYZE <select>`` — the statement is executed under a span
+  tracer and the resulting span tree is rendered with estimated vs.
+  actual rows plus each span's operation counters (comparisons, moves,
+  hashes, traversals, allocations) and wall-clock — making optimizer
+  misestimates (the Section 3.3.1 workload's selectivity skew) directly
+  visible per operator.
+
+Estimation is deliberately crude, mirroring the paper's Section 4 stance
+that main-memory cost formulas should stay simple: equality selects
+``cardinality / distinct`` rows (exact column statistics are cheap to
+keep in memory), range predicates default to one third, and equijoins
+divide the cross product by the inner side's distinct count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.query.plan import (
+    REF_COLUMN,
+    FilterNode,
+    IndexLookupNode,
+    IndexMultiLookupNode,
+    IndexRangeNode,
+    JoinNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+)
+from repro.query.predicates import Comparison, Conjunction, Disjunction, Op
+
+#: Default selectivity for predicates we cannot analyse (System R's
+#: classic 1/3 for range-shaped conditions).
+DEFAULT_SELECTIVITY = 1.0 / 3.0
+
+
+def node_label(plan: PlanNode) -> str:
+    """One-line description of a plan node (no children, no indent)."""
+    if isinstance(plan, JoinNode):
+        return f"Join[{plan.method}] {plan.left_col} {plan.op} {plan.right_col}"
+    if isinstance(plan, FilterNode):
+        return f"Filter {plan.predicate!r}"
+    if isinstance(plan, ProjectNode):
+        dd = f" dedup({plan.dedup_method})" if plan.deduplicate else ""
+        return f"Project{list(plan.columns)}{dd}"
+    # Leaves render on a single line already.
+    return plan.explain(0)
+
+
+def node_children(plan: PlanNode) -> List[PlanNode]:
+    """Child plan nodes in execution order."""
+    if isinstance(plan, JoinNode):
+        return [plan.left, plan.right]
+    if isinstance(plan, (FilterNode, ProjectNode)):
+        return [plan.child]
+    return []
+
+
+# --------------------------------------------------------------------- #
+# row estimation
+# --------------------------------------------------------------------- #
+
+def _column_selectivity(catalog, optimizer, relation_name, field_name) -> float:
+    """Fraction of rows matched by one equality on the column."""
+    relation = catalog.relation(relation_name)
+    if field_name not in relation.schema.names:
+        return DEFAULT_SELECTIVITY
+    stats = optimizer.column_stats(relation, field_name)
+    if stats.cardinality == 0 or stats.distinct == 0:
+        return 1.0
+    return 1.0 / stats.distinct
+
+
+def _predicate_selectivity(
+    catalog, optimizer, relation_name: str, predicate
+) -> float:
+    """Estimated match fraction of a predicate on one relation."""
+    if predicate is None:
+        return 1.0
+    if isinstance(predicate, Conjunction):
+        out = 1.0
+        for part in predicate.parts:
+            out *= _predicate_selectivity(
+                catalog, optimizer, relation_name, part
+            )
+        return out
+    if isinstance(predicate, Disjunction):
+        total = sum(
+            _predicate_selectivity(catalog, optimizer, relation_name, part)
+            for part in predicate.parts
+        )
+        return min(1.0, total)
+    if isinstance(predicate, Comparison):
+        field = predicate.field.rsplit(".", 1)[-1]
+        if predicate.op is Op.EQ:
+            return _column_selectivity(
+                catalog, optimizer, relation_name, field
+            )
+        return DEFAULT_SELECTIVITY
+    return DEFAULT_SELECTIVITY
+
+
+def estimate_rows(plan: PlanNode, catalog, optimizer) -> Optional[int]:
+    """Estimated output cardinality of a plan subtree (None when the
+    catalog no longer has the relations to estimate against)."""
+    try:
+        return max(0, round(_estimate(plan, catalog, optimizer)))
+    except Exception:
+        return None
+
+
+def _estimate(plan: PlanNode, catalog, optimizer) -> float:
+    if isinstance(plan, ScanNode):
+        relation = catalog.relation(plan.relation_name)
+        return len(relation) * _predicate_selectivity(
+            catalog, optimizer, plan.relation_name, plan.predicate
+        )
+    if isinstance(plan, IndexLookupNode):
+        relation = catalog.relation(plan.relation_name)
+        return len(relation) * _column_selectivity(
+            catalog, optimizer, plan.relation_name, plan.field_name
+        )
+    if isinstance(plan, IndexMultiLookupNode):
+        relation = catalog.relation(plan.relation_name)
+        per_key = len(relation) * _column_selectivity(
+            catalog, optimizer, plan.relation_name, plan.field_name
+        )
+        return per_key * len(plan.keys)
+    if isinstance(plan, IndexRangeNode):
+        relation = catalog.relation(plan.relation_name)
+        return len(relation) * DEFAULT_SELECTIVITY
+    if isinstance(plan, FilterNode):
+        # Without binding columns to source relations post-join, apply
+        # the default selectivity per comparison leaf.
+        child = _estimate(plan.child, catalog, optimizer)
+        return child * _leaf_selectivity(plan.predicate)
+    if isinstance(plan, JoinNode):
+        left = _estimate(plan.left, catalog, optimizer)
+        right = _estimate(plan.right, catalog, optimizer)
+        if plan.op != "=":
+            return left * right * DEFAULT_SELECTIVITY
+        if plan.method == "precomputed" or plan.right_col == REF_COLUMN:
+            # Pointer equality: each outer pointer pairs with exactly one
+            # target tuple (or a stored pointer list; still ~|outer|).
+            return left
+        distinct = _inner_distinct(plan.right, plan.right_col, catalog, optimizer)
+        if distinct <= 0:
+            return 0.0
+        return left * right / distinct
+    if isinstance(plan, ProjectNode):
+        return _estimate(plan.child, catalog, optimizer)
+    raise ValueError(f"unknown plan node {type(plan).__name__}")
+
+
+def _leaf_selectivity(predicate) -> float:
+    if isinstance(predicate, Conjunction):
+        out = 1.0
+        for part in predicate.parts:
+            out *= _leaf_selectivity(part)
+        return out
+    if isinstance(predicate, Disjunction):
+        return min(
+            1.0, sum(_leaf_selectivity(part) for part in predicate.parts)
+        )
+    return DEFAULT_SELECTIVITY
+
+
+def _inner_distinct(right: PlanNode, right_col: str, catalog, optimizer) -> float:
+    """Distinct join-key count on the inner input (falls back to its
+    estimated cardinality when the column cannot be resolved)."""
+    if isinstance(right, ScanNode) and right.predicate is None:
+        relation = catalog.relation(right.relation_name)
+        field = right_col.rsplit(".", 1)[-1]
+        if field in relation.schema.names:
+            return float(optimizer.column_stats(relation, field).distinct)
+    return max(1.0, _estimate(right, catalog, optimizer))
+
+
+# --------------------------------------------------------------------- #
+# rendering
+# --------------------------------------------------------------------- #
+
+def render_plan(plan: PlanNode, catalog, optimizer) -> str:
+    """EXPLAIN output: the plan tree with estimated rows per operator."""
+    lines: List[str] = []
+
+    def emit(node: PlanNode, depth: int) -> None:
+        est = estimate_rows(node, catalog, optimizer)
+        suffix = "" if est is None else f"  (est_rows={est})"
+        lines.append("  " * depth + node_label(node) + suffix)
+        for child in node_children(node):
+            emit(child, depth + 1)
+
+    emit(plan, 0)
+    return "\n".join(lines)
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1000.0:.3f}ms"
+
+
+def _span_annotations(span, catalog, optimizer) -> str:
+    parts: List[str] = []
+    node = span.attrs.get("_node")
+    if node is not None:
+        est = estimate_rows(node, catalog, optimizer)
+        parts.append(f"est_rows={'?' if est is None else est}")
+    if span.rows_out is not None:
+        parts.append(f"actual_rows={span.rows_out}")
+    counts = span.counters
+    parts.append(f"comparisons={counts.comparisons}")
+    parts.append(f"moves={counts.moves}")
+    parts.append(f"hashes={counts.hashes}")
+    parts.append(f"traversals={counts.traversals}")
+    parts.append(f"allocations={counts.allocations}")
+    parts.append(f"time={_fmt_ms(span.elapsed)}")
+    return "(" + ", ".join(parts) + ")"
+
+
+def render_analyze(root_span, catalog, optimizer) -> str:
+    """EXPLAIN ANALYZE output: the executed span tree, each line carrying
+    estimated vs. actual rows and the span's inclusive counters."""
+    lines: List[str] = []
+
+    def emit(span, depth: int) -> None:
+        name = span.name
+        if span.kind == "query":
+            name = "Query"
+        lines.append(
+            "  " * depth
+            + f"{name}  {_span_annotations(span, catalog, optimizer)}"
+        )
+        for child in span.children:
+            emit(child, depth + 1)
+
+    emit(root_span, 0)
+    return "\n".join(lines)

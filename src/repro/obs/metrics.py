@@ -1,0 +1,268 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket
+histograms, with JSON-lines and Prometheus-text exporters.
+
+Metric families are created on first use and keyed by name; a family
+with labels keeps one child per label combination.  Histograms use fixed
+bucket boundaries supplied at creation (cumulative ``le`` semantics,
+matching the Prometheus exposition format), so observation is O(buckets)
+with no dynamic allocation on the hot path.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative export.
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]``
+    (non-cumulative internally; export accumulates), with one overflow
+    slot for observations beyond the last bound (the ``+Inf`` bucket).
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        ordered = sorted(float(b) for b in bounds)
+        if not ordered:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self.bounds: Tuple[float, ...] = tuple(ordered)
+        self.bucket_counts: List[int] = [0] * (len(ordered) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(le_bound, cumulative_count)`` pairs, ending with +Inf."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            running += bucket
+            out.append((bound, running))
+        out.append((float("inf"), running + self.bucket_counts[-1]))
+        return out
+
+
+class MetricFamily:
+    """All children of one named metric, keyed by label values."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind  # "counter" | "gauge" | "histogram"
+        self.help_text = help_text
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self._children: Dict[LabelKey, Any] = {}
+
+    def child(self, labels: Dict[str, Any]):
+        key = _label_key(labels)
+        existing = self._children.get(key)
+        if existing is not None:
+            return existing
+        if self.kind == "counter":
+            created: Any = Counter()
+        elif self.kind == "gauge":
+            created = Gauge()
+        else:
+            created = Histogram(self.buckets or (1.0,))
+        self._children[key] = created
+        return created
+
+    def samples(self) -> Iterator[Tuple[LabelKey, Any]]:
+        yield from self._children.items()
+
+
+class MetricsRegistry:
+    """Named metric families with get-or-create accessors.
+
+    ``registry.counter("cache_requests_total", layer="plan",
+    outcome="hit").inc()`` creates the family and the labelled child on
+    first use.  Re-registering a name with a different metric kind is an
+    error — names are process-wide contracts.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    # -- accessors ---------------------------------------------------------
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            family = MetricFamily(name, kind, help_text, buckets)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} is a {family.kind}, not a {kind}"
+            )
+        return family
+
+    def counter(self, name: str, help_text: str = "", **labels: Any) -> Counter:
+        return self._family(name, "counter", help_text).child(labels)
+
+    def gauge(self, name: str, help_text: str = "", **labels: Any) -> Gauge:
+        return self._family(name, "gauge", help_text).child(labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float],
+        help_text: str = "",
+        **labels: Any,
+    ) -> Histogram:
+        return self._family(name, "histogram", help_text, buckets).child(labels)
+
+    def families(self) -> List[MetricFamily]:
+        return [self._families[name] for name in sorted(self._families)]
+
+    def clear(self) -> None:
+        self._families.clear()
+
+    # -- exporters ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict view: ``{name: {label_repr: value-or-hist-dict}}``."""
+        out: Dict[str, Any] = {}
+        for family in self.families():
+            children: Dict[str, Any] = {}
+            for key, metric in family.samples():
+                label_repr = ",".join(f"{k}={v}" for k, v in key) or ""
+                if isinstance(metric, Histogram):
+                    children[label_repr] = {
+                        "sum": metric.sum,
+                        "count": metric.count,
+                        "buckets": {
+                            str(bound): count
+                            for bound, count in metric.cumulative()
+                        },
+                    }
+                else:
+                    children[label_repr] = metric.value
+            out[family.name] = children
+        return out
+
+    def export_jsonl(self) -> str:
+        """One JSON object per metric child, newline-separated."""
+        lines: List[str] = []
+        for family in self.families():
+            for key, metric in family.samples():
+                record: Dict[str, Any] = {
+                    "name": family.name,
+                    "type": family.kind,
+                    "labels": dict(key),
+                }
+                if isinstance(metric, Histogram):
+                    record["sum"] = metric.sum
+                    record["count"] = metric.count
+                    record["buckets"] = [
+                        {"le": bound, "count": count}
+                        for bound, count in metric.cumulative()
+                    ]
+                else:
+                    record["value"] = metric.value
+                lines.append(json.dumps(record, default=str))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def export_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        chunks: List[str] = []
+        for family in self.families():
+            if family.help_text:
+                chunks.append(f"# HELP {family.name} {family.help_text}")
+            chunks.append(f"# TYPE {family.name} {family.kind}")
+            for key, metric in family.samples():
+                base_labels = dict(key)
+                if isinstance(metric, Histogram):
+                    for bound, count in metric.cumulative():
+                        le = "+Inf" if bound == float("inf") else _fmt(bound)
+                        labels = _render_labels({**base_labels, "le": le})
+                        chunks.append(
+                            f"{family.name}_bucket{labels} {count}"
+                        )
+                    plain = _render_labels(base_labels)
+                    chunks.append(f"{family.name}_sum{plain} {_fmt(metric.sum)}")
+                    chunks.append(f"{family.name}_count{plain} {metric.count}")
+                else:
+                    labels = _render_labels(base_labels)
+                    chunks.append(f"{family.name}{labels} {_fmt(metric.value)}")
+        return "\n".join(chunks) + ("\n" if chunks else "")
+
+
+def _fmt(value: float) -> str:
+    """Render a number the way Prometheus expects (no trailing .0 for
+    integral values keeps the text diff-friendly)."""
+    if isinstance(value, int):
+        return str(value)
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape(str(value))}"'
+        for name, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")

@@ -11,6 +11,8 @@ from __future__ import annotations
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import PlanError
+from repro.obs import runtime as obs_runtime
+from repro.obs.explain import node_label
 from repro.query import join as join_ops
 from repro.query.plan import (
     REF_COLUMN,
@@ -65,7 +67,24 @@ class Executor:
 
     def execute(self, plan: PlanNode) -> TemporaryList:
         """Evaluate ``plan`` to a temporary list (through the result
-        cache, when one is attached)."""
+        cache, when one is attached).
+
+        With observability active, every node evaluation — including the
+        recursive calls for join and filter children — runs inside an
+        ``operator`` span carrying the node's inclusive counters and
+        output cardinality.
+        """
+        obs = obs_runtime.active()
+        if obs is None or obs.tracer is None:
+            return self._execute_cached(plan)
+        with obs.tracer.span(
+            node_label(plan), kind="operator", _node=plan
+        ) as span:
+            result = self._execute_cached(plan)
+            span.rows_out = len(result)
+            return result
+
+    def _execute_cached(self, plan: PlanNode) -> TemporaryList:
         cache = self.result_cache
         if cache is None:
             return self._dispatch(plan)
@@ -126,7 +145,7 @@ class Executor:
                 f"{node.relation_name}.{node.field_name} has no index; "
                 "use a Scan with a predicate instead"
             )
-        refs = index.search_all(node.key)
+        refs = index.probe_all(node.key)
         return TemporaryList.from_refs(relation, refs)
 
     def _execute_multi_lookup(
@@ -147,7 +166,7 @@ class Executor:
         refs = []
         seen = set()
         for key in node.keys:
-            for ref in index.search_all(key):
+            for ref in index.probe_all(key):
                 if ref not in seen:
                     seen.add(ref)
                     refs.append(ref)
@@ -161,9 +180,17 @@ class Executor:
                 f"{node.relation_name}.{node.field_name} has no ordered "
                 "index for a range lookup"
             )
-        refs = select_tree_range(
-            index, node.low, node.high, node.include_low, node.include_high
-        )
+        with obs_runtime.span(
+            f"IndexProbe[{index.kind}] range", "index", index_kind=index.kind
+        ) as probe:
+            refs = select_tree_range(
+                index, node.low, node.high, node.include_low, node.include_high
+            )
+            if probe is not None:
+                probe.rows_out = len(refs)
+        obs = obs_runtime.active()
+        if obs is not None:
+            obs.metric_inc("index_probes_total", kind=index.kind)
         return TemporaryList.from_refs(relation, refs)
 
     # ------------------------------------------------------------------ #
@@ -343,9 +370,10 @@ class Executor:
                     f"inequality tree join needs an ordered index on "
                     f"{right_rel.name}.{node.right_col}"
                 )
-            pairs = join_ops.tree_inequality_join(
-                left.rows(), left_key, index, node.op
-            )
+            with obs_runtime.span("tree_join.probe", "join_phase"):
+                pairs = join_ops.tree_inequality_join(
+                    left.rows(), left_key, index, node.op
+                )
             right_desc = ResultDescriptor.whole_relation(right_rel)
             descriptor = self._join_descriptor(left.descriptor, right_desc)
             rows = [l_row + (r_ref,) for l_row, r_ref in pairs]
@@ -370,7 +398,8 @@ class Executor:
                 f"{right_rel.name}.{node.right_col}"
             )
         left_key = self._key_extractor(left, node.left_col)
-        pairs = join_ops.tree_join(left.rows(), left_key, index)
+        with obs_runtime.span("tree_join.probe", "join_phase"):
+            pairs = join_ops.tree_join(left.rows(), left_key, index)
         right_desc = ResultDescriptor.whole_relation(right_rel)
         descriptor = self._join_descriptor(left.descriptor, right_desc)
         rows = [l_row + (r_ref,) for l_row, r_ref in pairs]

@@ -39,6 +39,7 @@ from repro.instrument import (
     count_traverse,
     counters_scope,
 )
+from repro.obs import runtime as obs_runtime
 from repro.query.sort import quicksort
 
 Pair = Tuple[Any, Any]
@@ -63,8 +64,14 @@ class JoinStatistics:
 def measured(
     method: str, func: Callable[[], List[Pair]]
 ) -> Tuple[List[Pair], JoinStatistics]:
-    """Run a join thunk inside a fresh counter scope and report stats."""
-    with counters_scope() as counters:
+    """Run a join thunk inside a fresh counter scope and report stats.
+
+    The scope rolls up into its parent: a benchmark wrapping several
+    ``measured`` calls in one enclosing ``counters_scope`` still sees
+    every operation (previously the inner scope swallowed them and the
+    enclosing totals under-counted).
+    """
+    with counters_scope(rollup=True) as counters:
         result = func()
     return result, JoinStatistics(method, len(result), counters.snapshot())
 
@@ -111,16 +118,18 @@ def hash_join(
     the fixed lookup cost ``k`` of the paper's analysis.
     """
     size = table_size if table_size is not None else max(4, len(inner))
-    table = ChainedBucketHashIndex(
-        key_of=inner_key, unique=False, table_size=size
-    )
-    for inner_item in inner:
-        table.insert(inner_item)
+    with obs_runtime.span("hash_join.build", "join_phase"):
+        table = ChainedBucketHashIndex(
+            key_of=inner_key, unique=False, table_size=size
+        )
+        for inner_item in inner:
+            table.insert(inner_item)
     result: List[Pair] = []
-    for outer_item in outer:
-        for inner_item in table.search_all(outer_key(outer_item)):
-            count_move(1)
-            result.append((outer_item, inner_item))
+    with obs_runtime.span("hash_join.probe", "join_phase"):
+        for outer_item in outer:
+            for inner_item in table.search_all(outer_key(outer_item)):
+                count_move(1)
+                result.append((outer_item, inner_item))
     return result
 
 
@@ -223,13 +232,19 @@ def sort_merge_join(
     index holds a list of contiguous elements whereas the T Tree holds
     nodes of contiguous elements joined by pointers".
     """
-    outer_array = ArrayIndex.build_unsorted(list(outer), outer_key, unique=False)
-    inner_array = ArrayIndex.build_unsorted(list(inner), inner_key, unique=False)
-    outer_array.sort_in_place(lambda items: quicksort(items, outer_key))
-    inner_array.sort_in_place(lambda items: quicksort(items, inner_key))
-    return merge_join_sorted(
-        outer_array.rows(), inner_array.rows(), outer_key, inner_key
-    )
+    with obs_runtime.span("sort_merge.build_sort", "join_phase"):
+        outer_array = ArrayIndex.build_unsorted(
+            list(outer), outer_key, unique=False
+        )
+        inner_array = ArrayIndex.build_unsorted(
+            list(inner), inner_key, unique=False
+        )
+        outer_array.sort_in_place(lambda items: quicksort(items, outer_key))
+        inner_array.sort_in_place(lambda items: quicksort(items, inner_key))
+    with obs_runtime.span("sort_merge.merge", "join_phase"):
+        return merge_join_sorted(
+            outer_array.rows(), inner_array.rows(), outer_key, inner_key
+        )
 
 
 def tree_merge_join(

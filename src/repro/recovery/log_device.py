@@ -18,11 +18,20 @@ import threading
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import HeapOverflowError, RecoveryError
+from repro.obs import runtime as obs_runtime
 from repro.recovery.disk import SimulatedDisk
 from repro.recovery.log import LogRecord, StableLogBuffer
 from repro.storage.partition import Partition
 
 PartitionKey = Tuple[str, int]
+
+
+def _metric(name: str, amount: int, **labels) -> None:
+    """Bump a log-device metric when observability is active."""
+    if amount:
+        obs = obs_runtime.active()
+        if obs is not None:
+            obs.metric_inc(name, amount, **labels)
 
 
 def apply_record(partition: Partition, record: LogRecord) -> None:
@@ -81,6 +90,7 @@ class LogDevice:
                 key = (record.relation, record.partition_id)
                 self._accumulation.setdefault(key, []).append(record)
             self.records_absorbed += len(records)
+        _metric("log_records_absorbed_total", len(records))
         return len(records)
 
     def ensure_base_image(self, relation: str, partition_id: int) -> None:
@@ -117,6 +127,8 @@ class LogDevice:
             applied += len(records)
         with self._mutex:
             self.records_propagated += applied
+        _metric("log_records_propagated_total", applied)
+        _metric("log_partition_writes_total", len(batches))
         return applied
 
     # ------------------------------------------------------------------ #
@@ -166,6 +178,8 @@ class LogDevice:
             records = self._accumulation.pop((relation, partition_id), [])
         for record in sorted(records, key=lambda r: r.lsn):
             apply_record(partition, record)
+        _metric("log_restart_merges_total", 1)
+        _metric("log_restart_records_merged_total", len(records))
         if records:
             # The memory copy is now newer than the disk image; write the
             # merged image back so the disk copy converges too.

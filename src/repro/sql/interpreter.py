@@ -13,7 +13,7 @@ from typing import Any, List, Optional, Sequence, Tuple, Union
 
 from repro.cache.plan_cache import normalize_sql
 from repro.errors import QueryError, SchemaError
-from repro.query.plan import JoinNode, ScanNode
+from repro.obs import runtime as obs_runtime
 from repro.query.predicates import (
     Comparison,
     Conjunction,
@@ -98,7 +98,24 @@ class SQLInterpreter:
         With the plan cache installed, repeat statements skip the lexer
         and parser (keyed on normalized text); SELECTs additionally reuse
         their optimized plan and, via the result cache, their results.
+
+        With observability active, the whole statement runs inside a root
+        ``query`` span (or, with tracing off, a plain roll-up counter
+        scope) and is recorded into the query metrics and slow-query log.
         """
+        obs = obs_runtime.active()
+        if obs is None:
+            return self._execute_statement(text)
+        with obs.measure_query(text) as root:
+            result = self._execute_statement(text)
+            if root is not None:
+                try:
+                    root.rows_out = len(result)
+                except TypeError:
+                    pass
+            return result
+
+    def _execute_statement(self, text: str):
         plan_cache = self.db.plan_cache
         key = None
         statement = None
@@ -106,7 +123,8 @@ class SQLInterpreter:
             key = normalize_sql(text)
             statement = plan_cache.statement_for(key)
         if statement is None:
-            statement = ast.parse_statement(text)
+            with obs_runtime.span("parse", "phase"):
+                statement = ast.parse_statement(text)
             if plan_cache is not None:
                 plan_cache.store_statement(key, statement)
         if contains_parameters(statement):
@@ -266,13 +284,14 @@ class SQLInterpreter:
     def _core_result(self, stmt: ast.Select, plan_key) -> TemporaryList:
         """Execute the read core, reusing a cached plan when possible."""
         plan_cache = self.db.plan_cache
-        if plan_cache is not None and plan_key is not None:
-            plan = plan_cache.plan_for(plan_key, self.db.catalog)
-            if plan is None:
+        with obs_runtime.span("plan", "phase"):
+            if plan_cache is not None and plan_key is not None:
+                plan = plan_cache.plan_for(plan_key, self.db.catalog)
+                if plan is None:
+                    plan = self._build_core_plan(stmt)
+                    plan_cache.store_plan(plan_key, plan, self.db.catalog)
+            else:
                 plan = self._build_core_plan(stmt)
-                plan_cache.store_plan(plan_key, plan, self.db.catalog)
-        else:
-            plan = self._build_core_plan(stmt)
         return self.db.executor.execute(plan)
 
     def _run_select(self, stmt: ast.Select, plan_key=None):
@@ -531,29 +550,39 @@ class SQLInterpreter:
         return TemporaryList(result.descriptor, rows)
 
     def _run_explain(self, stmt: ast.Explain) -> str:
-        select = stmt.select
-        if select.join_table is None:
-            predicate = _conditions_to_predicate(select.conditions)
-            plan = self.db.optimizer.plan_selection(select.table, predicate)
-        else:
-            outer_pred, inner_pred = self._split_join_conditions(select)
-            if select.join_op != "=" or select.join_method:
-                method = select.join_method or "nested_loops"
-                plan = JoinNode(
-                    self.db.optimizer.plan_selection(select.table, outer_pred),
-                    ScanNode(select.join_table),
-                    select.join_left,
-                    select.join_right,
-                    method,
-                    select.join_op,
-                )
+        from repro.obs.explain import render_plan
+
+        if stmt.analyze:
+            return self._run_explain_analyze(stmt.select)
+        plan = self._build_core_plan(stmt.select)
+        return render_plan(plan, self.db.catalog, self.db.optimizer)
+
+    def _run_explain_analyze(self, select: ast.Select) -> str:
+        """Execute the SELECT under a span tracer and render the span
+        tree with estimated vs. actual rows and per-operator counters.
+
+        A temporary tracing-only :class:`~repro.obs.Observability` is
+        activated for the duration (and the previous instance restored),
+        so EXPLAIN ANALYZE works whether or not the user has configured
+        observability — without polluting any configured metrics.
+        """
+        from repro.obs import Observability, ObservabilityConfig
+        from repro.obs.explain import render_analyze
+
+        local = Observability(
+            ObservabilityConfig(metrics=False, slow_query_ops=None)
+        )
+        previous = obs_runtime.activate(local)
+        try:
+            with local.tracer.span("query", kind="query") as root:
+                result = self.run_statement(select, None)
+                try:
+                    root.rows_out = len(result)
+                except TypeError:
+                    pass
+        finally:
+            if previous is None:
+                obs_runtime.deactivate()
             else:
-                plan = self.db.optimizer.plan_join(
-                    select.table,
-                    select.join_table,
-                    select.join_left,
-                    select.join_right,
-                    outer_pred,
-                    inner_pred,
-                )
-        return plan.explain()
+                obs_runtime.activate(previous)
+        return render_analyze(root, self.db.catalog, self.db.optimizer)

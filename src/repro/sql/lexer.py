@@ -34,7 +34,7 @@ class TokenType(enum.Enum):
 
 #: Reserved words recognised as keywords (upper-cased canonical form).
 KEYWORDS = {
-    "AND", "AS", "ASC", "BETWEEN", "BY", "CREATE", "DELETE", "DESC",
+    "ANALYZE", "AND", "AS", "ASC", "BETWEEN", "BY", "CREATE", "DELETE", "DESC",
     "DISTINCT", "DROP", "EXPLAIN", "FROM", "GROUP", "INDEX", "INSERT", "INTO",
     "JOIN", "KEY", "LIMIT", "NOT", "NULL", "ON", "OR", "ORDER", "PRIMARY",
     "REFERENCES", "SELECT", "SET", "TABLE", "UNIQUE", "UPDATE", "USING",

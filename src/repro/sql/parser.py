@@ -33,7 +33,7 @@ Grammar (keywords case-insensitive)::
                       [WHERE condition (AND condition)*]
     delete         := DELETE FROM ident
                       [WHERE condition (AND condition)*]
-    explain        := EXPLAIN select
+    explain        := EXPLAIN [ANALYZE] select
 
 Statements parse into plain dataclasses (below); the interpreter lowers
 them onto the engine.
@@ -222,6 +222,7 @@ class Delete:
 @dataclass(frozen=True)
 class Explain:
     select: Select
+    analyze: bool = False
 
 
 class _Parser:
@@ -328,9 +329,10 @@ class _Parser:
             return self.delete()
         if token.is_keyword("EXPLAIN"):
             self.advance()
+            analyze = self.accept_keyword("ANALYZE")
             select = self.select()
             self.end()
-            return Explain(select)
+            return Explain(select, analyze)
         raise SQLSyntaxError(
             f"unknown statement start {token.value!r} at {token.position}"
         )

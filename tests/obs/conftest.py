@@ -1,0 +1,46 @@
+"""Observability test fixtures.
+
+The active observability instance is process-wide (module slot in
+:mod:`repro.obs.runtime`); every test here deactivates it on exit so no
+tracer leaks into unrelated tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MainMemoryDatabase
+from repro.obs import runtime as obs_runtime
+
+
+@pytest.fixture(autouse=True)
+def clean_runtime():
+    """Guarantee no observability instance survives a test."""
+    yield
+    obs_runtime.deactivate()
+
+
+@pytest.fixture
+def chain_db() -> MainMemoryDatabase:
+    """Three relations for 2-join chains: Proj -> Emp -> Dept."""
+    db = MainMemoryDatabase()
+    db.sql("CREATE TABLE Dept (Name TEXT, Id INT, PRIMARY KEY (Id))")
+    db.sql(
+        "CREATE TABLE Emp (Name TEXT, Id INT, Age INT, "
+        "Dept INT REFERENCES Dept (Id), PRIMARY KEY (Id))"
+    )
+    db.sql(
+        "CREATE TABLE Proj (Title TEXT, Id INT, "
+        "Owner INT REFERENCES Emp (Id), PRIMARY KEY (Id))"
+    )
+    db.sql("INSERT INTO Dept VALUES ('Toy', 459), ('Linen', 411)")
+    db.sql(
+        "INSERT INTO Emp VALUES ('Dave', 23, 24, 459), "
+        "('Jane', 31, 47, 411), ('Zoe', 44, 30, 459), "
+        "('Omar', 57, 36, 411)"
+    )
+    db.sql(
+        "INSERT INTO Proj VALUES ('X', 1, 23), ('Y', 2, 31), "
+        "('Z', 3, 23), ('W', 4, 57)"
+    )
+    return db

@@ -150,3 +150,47 @@ class TestCounterScopes:
             with counters_scope():
                 raise RuntimeError("boom")
         assert current_counters() is base
+
+
+class TestRollupScopes:
+    def test_rollup_merges_into_parent(self):
+        with counters_scope() as outer:
+            count_compare()
+            with counters_scope(rollup=True) as inner:
+                count_compare(5)
+                count_move(2)
+            count_compare()
+        assert inner.comparisons == 5
+        assert inner.moves == 2
+        # The parent sees its own ops AND the rolled-up child's.
+        assert outer.comparisons == 7
+        assert outer.moves == 2
+
+    def test_rollup_includes_extra_events(self):
+        with counters_scope() as outer:
+            with counters_scope(rollup=True) as inner:
+                inner.bump("probes", 3)
+        assert outer.extra == {"probes": 3}
+
+    def test_rollup_merges_even_on_exception(self):
+        with counters_scope() as outer:
+            with pytest.raises(RuntimeError):
+                with counters_scope(rollup=True):
+                    count_compare(4)
+                    raise RuntimeError("boom")
+        assert outer.comparisons == 4
+
+    def test_nested_rollups_chain_to_the_root(self):
+        with counters_scope() as root:
+            with counters_scope(rollup=True) as mid:
+                count_compare()
+                with counters_scope(rollup=True):
+                    count_compare(10)
+        assert mid.comparisons == 11
+        assert root.comparisons == 11
+
+    def test_default_remains_non_rollup(self):
+        with counters_scope() as outer:
+            with counters_scope():
+                count_compare(9)
+        assert outer.comparisons == 0
