@@ -14,11 +14,18 @@ try:
     from benchmarks.harness import (
         SeriesCollector,
         bench_rng,
+        configure_engine,
         measure,
         scaled,
     )
 except ImportError:
-    from harness import SeriesCollector, bench_rng, measure, scaled
+    from harness import (
+        SeriesCollector,
+        bench_rng,
+        configure_engine,
+        measure,
+        scaled,
+    )
 
 from repro import Field, FieldType, MainMemoryDatabase
 from repro.query.plan import JoinNode, ScanNode
@@ -37,7 +44,7 @@ GRID = [
 
 
 def build_db(outer_values, inner_values, indexed):
-    db = MainMemoryDatabase()
+    db = configure_engine(MainMemoryDatabase())
     for name, values in (("A", outer_values), ("B", inner_values)):
         db.create_relation(
             name,

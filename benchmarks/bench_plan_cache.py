@@ -23,6 +23,7 @@ try:
         SPANS_MODE,
         SeriesCollector,
         bench_rng,
+        configure_engine,
         measure,
         scaled,
         serialize_spans,
@@ -32,6 +33,7 @@ except ImportError:  # pragma: no cover - direct execution
         SPANS_MODE,
         SeriesCollector,
         bench_rng,
+        configure_engine,
         measure,
         scaled,
         serialize_spans,
@@ -49,7 +51,7 @@ _EMPLOYEES = scaled(20_000)  # 2,000 by default
 
 def _build_db() -> MainMemoryDatabase:
     rng = bench_rng()
-    db = MainMemoryDatabase()
+    db = configure_engine(MainMemoryDatabase())
     db.sql(
         "CREATE TABLE Department (Name TEXT, Id INT, Floor INT, "
         "PRIMARY KEY (Id))"

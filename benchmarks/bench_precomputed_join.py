@@ -16,11 +16,18 @@ try:
     from benchmarks.harness import (
         SeriesCollector,
         bench_rng,
+        configure_engine,
         measure,
         scaled,
     )
 except ImportError:
-    from harness import SeriesCollector, bench_rng, measure, scaled
+    from harness import (
+        SeriesCollector,
+        bench_rng,
+        configure_engine,
+        measure,
+        scaled,
+    )
 
 from repro import Field, FieldType, ForeignKey, MainMemoryDatabase
 from repro.query.plan import REF_COLUMN, JoinNode, ScanNode
@@ -32,7 +39,7 @@ METHODS = ["precomputed", "hash", "sort_merge", "nested_loops"]
 
 
 def build_db():
-    db = MainMemoryDatabase()
+    db = configure_engine(MainMemoryDatabase())
     db.create_relation(
         "Department",
         [Field("Name", FieldType.STR), Field("Id", FieldType.INT)],

@@ -1,0 +1,161 @@
+"""CI perf-regression gate over the machine-independent op counts.
+
+Compares freshly regenerated ``BENCH_*.json`` documents against the
+committed baselines and fails (exit 1) when any *operation-count* value
+regresses by more than the tolerance (default 2%).  Wall-clock columns
+are reported but never gate: the op counts are the paper's
+machine-independent cost model, stable across hardware, while seconds
+are not.
+
+Usage::
+
+    python benchmarks/check_regression.py --baseline <dir> [--fresh <dir>]
+        [--tolerance 0.02]
+
+Typical CI flow: copy the committed ``benchmarks/results`` somewhere
+first, rerun the benchmarks (which overwrite ``benchmarks/results``),
+then point ``--baseline`` at the copy.  Benchmarks present only on one
+side are skipped with a note (new benchmarks shouldn't fail the gate);
+*lower* counts than baseline are improvements and pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from typing import Any, Dict, Iterator, List, Tuple
+
+#: Column/value names that carry wall-clock (or derived-from-wall-clock)
+#: measurements — reported, never gating.
+_WALL_CLOCK = re.compile(
+    r"(seconds|_ns$|^ns_|time|wall|speedup|ratio)", re.IGNORECASE
+)
+
+#: Counts below this floor are ignored: tiny absolute values make the
+#: relative tolerance meaninglessly twitchy.
+MIN_GATED_VALUE = 100
+
+
+def _is_gated(name: str, value: Any) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and not _WALL_CLOCK.search(name)
+        and value >= MIN_GATED_VALUE
+    )
+
+
+def _flatten(
+    document: Dict[str, Any]
+) -> Iterator[Tuple[str, str, float]]:
+    """Yield ``(point_label, value_name, value)`` for every gated value."""
+    for point in document.get("points", []):
+        label = str(point.get("x"))
+        for name, value in (point.get("values") or {}).items():
+            if _is_gated(name, value):
+                yield label, name, float(value)
+    extra = document.get("extra") or {}
+    for name, value in extra.items():
+        if isinstance(value, dict):
+            for sub, sub_value in value.items():
+                if _is_gated(f"{name}.{sub}", sub_value):
+                    yield "extra", f"{name}.{sub}", float(sub_value)
+        elif _is_gated(name, value):
+            yield "extra", name, float(value)
+
+
+def _load(path: str) -> Dict[str, Any]:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def compare(
+    baseline_dir: str, fresh_dir: str, tolerance: float
+) -> Tuple[List[str], List[str]]:
+    """Returns (regressions, notes)."""
+    regressions: List[str] = []
+    notes: List[str] = []
+    baseline_files = {
+        name
+        for name in os.listdir(baseline_dir)
+        if name.startswith("BENCH_") and name.endswith(".json")
+    }
+    fresh_files = {
+        name
+        for name in os.listdir(fresh_dir)
+        if name.startswith("BENCH_") and name.endswith(".json")
+    }
+    for name in sorted(baseline_files - fresh_files):
+        notes.append(f"{name}: present in baseline only, skipped")
+    for name in sorted(fresh_files - baseline_files):
+        notes.append(f"{name}: new benchmark (no baseline), skipped")
+    for name in sorted(baseline_files & fresh_files):
+        base = dict(
+            ((label, key), value)
+            for label, key, value in _flatten(
+                _load(os.path.join(baseline_dir, name))
+            )
+        )
+        fresh = dict(
+            ((label, key), value)
+            for label, key, value in _flatten(
+                _load(os.path.join(fresh_dir, name))
+            )
+        )
+        for key in sorted(base.keys() & fresh.keys()):
+            before, after = base[key], fresh[key]
+            if after > before * (1.0 + tolerance):
+                label, column = key
+                regressions.append(
+                    f"{name} [{label}] {column}: "
+                    f"{before:,.0f} -> {after:,.0f} "
+                    f"(+{(after / before - 1.0) * 100:.2f}%)"
+                )
+    return regressions, notes
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        required=True,
+        help="directory holding the committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--fresh",
+        default=os.path.join(os.path.dirname(__file__), "results"),
+        help="directory holding freshly regenerated BENCH_*.json "
+        "(default: benchmarks/results)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.02,
+        help="allowed relative op-count growth (default 0.02 = 2%%)",
+    )
+    args = parser.parse_args(argv)
+    regressions, notes = compare(
+        args.baseline, args.fresh, args.tolerance
+    )
+    for note in notes:
+        print(f"note: {note}")
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} op-count regression(s) beyond "
+            f"{args.tolerance:.0%}:"
+        )
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(
+        f"OK: no op-count regressions beyond {args.tolerance:.0%} "
+        f"(wall-clock columns are informational only)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

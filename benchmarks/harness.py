@@ -50,6 +50,47 @@ JSON_MODE = JSON_MODE or SPANS_MODE
 SEED = 19860528  # SIGMOD'86 was held in late May 1986.
 
 
+def _engine_arg() -> str:
+    """``--engine {tuple,batch,both}`` (or REPRO_ENGINE); default tuple."""
+    value = os.environ.get("REPRO_ENGINE", "") or "tuple"
+    for i, arg in enumerate(sys.argv):
+        if arg == "--engine" and i + 1 < len(sys.argv):
+            value = sys.argv[i + 1]
+        elif arg.startswith("--engine="):
+            value = arg.split("=", 1)[1]
+    if value not in ("tuple", "batch", "both"):
+        raise SystemExit(
+            f"--engine must be tuple, batch or both, got {value!r}"
+        )
+    return value
+
+
+#: Execution-engine selection for benchmarks that evaluate plan trees
+#: through a MainMemoryDatabase: ``--engine {tuple,batch,both}`` on the
+#: command line or REPRO_ENGINE.  ``both`` makes engine-aware
+#: benchmarks emit one series per engine into their BENCH_*.json.
+ENGINE = _engine_arg()
+
+
+def engines() -> Tuple[str, ...]:
+    """The engine names this run should cover, in series order."""
+    return ("tuple", "batch") if ENGINE == "both" else (ENGINE,)
+
+
+def configure_engine(db: Any, engine: str = None) -> Any:
+    """Apply the selected engine to a database handle and return it.
+
+    ``engine`` overrides the command-line selection (benchmarks looping
+    over :func:`engines` pass each name explicitly); ``both`` on a
+    single handle falls back to the tuple engine.
+    """
+    name = engine if engine is not None else ENGINE
+    if name == "both":
+        name = "tuple"
+    db.configure_execution(engine=name)
+    return db
+
+
 def scaled(n: int, factor: int = 10) -> int:
     """The paper's size ``n``, scaled down unless REPRO_FULL is set."""
     return n if FULL_SCALE else max(1, n // factor)

@@ -130,6 +130,7 @@ class MainMemoryDatabase:
         self.plan_cache = None
         self.result_cache = None
         self.observability = None
+        self.execution_config = None
         if cache is not None:
             self.configure_cache(cache)
         # The transaction id used for log records when no transaction is
@@ -163,6 +164,47 @@ class MainMemoryDatabase:
             else None
         )
         self.executor.result_cache = self.result_cache
+
+    # ------------------------------------------------------------------ #
+    # execution engine
+    # ------------------------------------------------------------------ #
+
+    def configure_execution(
+        self, config=None, *, engine: str = None, batch_size: int = None
+    ):
+        """Select the execution engine (tuple-at-a-time vs. batch).
+
+        ``config`` is an
+        :class:`~repro.query.vectorized.ExecutionConfig`; alternatively
+        pass its fields as keywords.  Passing only ``batch_size``
+        implies the batch engine.  Called with nothing, it restores the
+        default tuple-at-a-time engine.  Every plan evaluated through
+        this database — ``select``/``join``/``project``, ``sql()``,
+        prepared statements — runs on the selected engine; attached
+        result caches and observability carry over.  Returns the new
+        executor.
+        """
+        from repro.query.vectorized import BatchExecutor, ExecutionConfig
+
+        if config is None:
+            if engine is None:
+                engine = "tuple" if batch_size is None else "batch"
+            kwargs = {"engine": engine}
+            if batch_size is not None:
+                kwargs["batch_size"] = batch_size
+            config = ExecutionConfig(**kwargs)
+        elif engine is not None or batch_size is not None:
+            raise ValueError(
+                "pass either an ExecutionConfig or keyword fields, not both"
+            )
+        if config.engine == "batch":
+            self.executor = BatchExecutor(
+                self.catalog, self.result_cache, config.batch_size
+            )
+        else:
+            self.executor = Executor(self.catalog, self.result_cache)
+        self.execution_config = config
+        return self.executor
 
     # ------------------------------------------------------------------ #
     # observability

@@ -108,7 +108,13 @@ class ValueTable:
         return [dict(zip(self.columns, row)) for row in self._rows]
 
     def sort_by(self, column: str, descending: bool = False) -> "ValueTable":
-        """A copy ordered by one column."""
+        """A copy ordered by one column (stable; comparisons counted).
+
+        Ordering computed values is still Section 3.1 work: each key
+        comparison the sort performs is charged through
+        ``count_compare`` (an audit found this site previously sorted
+        with a raw key lambda, bypassing the instrumentation).
+        """
         try:
             position = self.columns.index(column)
         except ValueError:
@@ -116,13 +122,28 @@ class ValueTable:
                 f"no column {column!r}; have {self.columns}"
             ) from None
         ordered = sorted(
-            self._rows, key=lambda row: row[position], reverse=descending
+            self._rows,
+            key=lambda row: _CountedKey(row[position]),
+            reverse=descending,
         )
         return ValueTable(self.columns, ordered)
 
     def limit(self, n: int) -> "ValueTable":
         """A copy truncated to the first ``n`` rows."""
         return ValueTable(self.columns, self._rows[:n])
+
+
+class _CountedKey:
+    """Sort key wrapper charging one comparison per ordering test."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_CountedKey") -> bool:
+        count_compare()
+        return self.value < other.value
 
 
 def group_aggregate(

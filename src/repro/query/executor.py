@@ -25,8 +25,10 @@ from repro.query.plan import (
     ProjectNode,
     ScanNode,
 )
+from repro.query.predicates import THETA_COMPARATORS
 from repro.query.project import project_hash, project_sort_scan
 from repro.query.select import select_tree_range
+from repro.query.sort import quicksort
 from repro.storage.catalog import Catalog
 from repro.storage.relation import Relation
 from repro.storage.temporary import (
@@ -37,15 +39,45 @@ from repro.storage.temporary import (
 from repro.storage.tuples import TupleRef
 
 
-#: Theta-join predicates for the nested-loops fallback.
-_THETA_PREDICATES = {
-    "=": lambda a, b: a == b,
-    "!=": lambda a, b: a != b,
-    "<": lambda a, b: a < b,
-    "<=": lambda a, b: a <= b,
-    ">": lambda a, b: a > b,
-    ">=": lambda a, b: a >= b,
-}
+def filter_column_resolver(
+    descriptor: ResultDescriptor,
+) -> Callable[[str], str]:
+    """Map a predicate field name to an output column name.
+
+    A join qualifies colliding names as ``Relation.field``.  Resolution
+    tries three ways, in order: exact output name; unambiguous bare-name
+    suffix of a qualified label; an explicit ``Relation.field``
+    qualifier matched against each column's source relation.  Both
+    execution engines share this resolver so a predicate binds to the
+    same column under either.
+    """
+    names = set(descriptor.column_names)
+    suffixes: dict = {}
+    qualified: dict = {}
+    for col in descriptor.columns:
+        if "." in col.name:
+            suffixes.setdefault(col.name.rsplit(".", 1)[1], []).append(
+                col.name
+            )
+        source_name = descriptor.sources[col.source].name
+        qualified.setdefault(f"{source_name}.{col.field}", []).append(
+            col.name
+        )
+
+    def resolve(field_name: str) -> str:
+        if field_name in names:
+            return field_name
+        candidates = suffixes.get(field_name, [])
+        if len(candidates) != 1:
+            candidates = qualified.get(field_name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        raise PlanError(
+            f"predicate references unknown or ambiguous column "
+            f"{field_name!r}; have {descriptor.column_names}"
+        )
+
+    return resolve
 
 
 class Executor:
@@ -56,6 +88,10 @@ class Executor:
     ``execute`` calls inside join and filter operators hit the cache for
     any previously computed subtree whose relations are unchanged.
     """
+
+    #: Name reported by ``EXPLAIN``-style tooling and benchmarks; the
+    #: batch engine overrides it.
+    engine_name = "tuple"
 
     def __init__(self, catalog: Catalog, result_cache=None) -> None:
         self.catalog = catalog
@@ -203,39 +239,11 @@ class Executor:
             name: child.value_extractor(name)
             for name in child.descriptor.column_names
         }
-        # A join qualifies colliding names as "Relation.field".  Resolve
-        # predicate fields three ways: exact output name; unambiguous
-        # bare-name suffix; or an explicit "Relation.field" qualifier
-        # matched against each column's source relation.
-        suffixes: dict = {}
-        qualified: dict = {}
-        for col in child.descriptor.columns:
-            if "." in col.name:
-                suffixes.setdefault(col.name.rsplit(".", 1)[1], []).append(
-                    col.name
-                )
-            source_name = child.descriptor.sources[col.source].name
-            qualified.setdefault(f"{source_name}.{col.field}", []).append(
-                col.name
-            )
-
-        def resolve(field_name: str):
-            extractor = extractors.get(field_name)
-            if extractor is not None:
-                return extractor
-            candidates = suffixes.get(field_name, [])
-            if len(candidates) != 1:
-                candidates = qualified.get(field_name, [])
-            if len(candidates) == 1:
-                return extractors[candidates[0]]
-            raise PlanError(
-                f"predicate references unknown or ambiguous column "
-                f"{field_name!r}; have {child.descriptor.column_names}"
-            )
+        resolve_name = filter_column_resolver(child.descriptor)
 
         def reader_for(row: Tuple[TupleRef, ...]) -> Callable[[str], Any]:
             def read(field_name: str) -> Any:
-                return resolve(field_name)(row)
+                return extractors[resolve_name(field_name)](row)
             return read
 
         kept = [row for row in child if node.predicate.matches(reader_for(row))]
@@ -258,6 +266,25 @@ class Executor:
         else:
             unique_rows = project_sort_scan(projected.rows(), row_key)
         return TemporaryList(projected.descriptor, unique_rows)
+
+    # ------------------------------------------------------------------ #
+    # ordering
+    # ------------------------------------------------------------------ #
+
+    def sort_rows(
+        self, result: TemporaryList, column: str
+    ) -> List[Tuple[TupleRef, ...]]:
+        """ORDER BY support: the result's rows sorted by one column.
+
+        Uses the paper's instrumented quicksort; the batch engine
+        overrides the key extractor with a dereference-cached one (same
+        counts, one physical deref per row instead of one per
+        comparison).
+        """
+        extractor = result.value_extractor(column)
+        rows = list(result.rows())
+        quicksort(rows, key_of=extractor)
+        return rows
 
     # ------------------------------------------------------------------ #
     # join
@@ -380,7 +407,7 @@ class Executor:
             return TemporaryList(descriptor, rows)
         right = self.execute(node.right)
         right_key = self._key_extractor(right, node.right_col)
-        predicate = _THETA_PREDICATES[node.op]
+        predicate = THETA_COMPARATORS[node.op]
         pairs = join_ops.theta_join(
             left.rows(), right.rows(), left_key, right_key, predicate
         )

@@ -12,6 +12,7 @@ access paths).
 from __future__ import annotations
 
 import enum
+import operator as _operator
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Tuple
 
@@ -164,6 +165,25 @@ class Disjunction(Predicate):
 
     def __repr__(self) -> str:
         return "(" + " OR ".join(repr(p) for p in self.parts) + ")"
+
+
+#: Raw two-value comparators for theta joins, keyed by operator text.
+#:
+#: These are deliberately *uninstrumented*: the instrumented site is the
+#: caller — ``theta_join`` charges one ``count_compare`` per probe
+#: before invoking the comparator, so routing every theta comparison
+#: through this table keeps Section 3.1 totals exact without double
+#: counting.  (An audit found the executor previously kept a private
+#: copy of this table; it now lives here, next to the predicate
+#: algebra, so new call sites cannot silently fork the semantics.)
+THETA_COMPARATORS: "dict[str, Callable[[Any, Any], bool]]" = {
+    "=": _operator.eq,
+    "!=": _operator.ne,
+    "<": _operator.lt,
+    "<=": _operator.le,
+    ">": _operator.gt,
+    ">=": _operator.ge,
+}
 
 
 def eq(field: str, value: Any) -> Comparison:

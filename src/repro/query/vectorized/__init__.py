@@ -1,0 +1,49 @@
+"""Batch-pipelined execution (the vectorized engine).
+
+A second execution path over the *same* plan trees as
+:class:`repro.query.executor.Executor`: operators exchange fixed-size
+batches of tuple-pointer rows through generators, predicates are
+compiled once per operator into eval-free closure chains, and a
+per-operator dereference cache memoizes (tuple, field) extraction so
+each pointer traversal is *performed* at most once per operator while
+still being *counted* every time the paper's cost model charges it.
+
+The package is organised as:
+
+* :mod:`~repro.query.vectorized.config` — :class:`ExecutionConfig`,
+  selected through ``MainMemoryDatabase.configure_execution``;
+* :mod:`~repro.query.vectorized.deref` — memoizing extractors and the
+  ``deref_saved_traversals`` savings counter;
+* :mod:`~repro.query.vectorized.compile` — predicate → batch-mask
+  compiler with short-circuit cascades;
+* :mod:`~repro.query.vectorized.kernels` — partitioned hash-join
+  build/probe and key-cached sort kernels;
+* :mod:`~repro.query.vectorized.engine` — :class:`BatchExecutor`, the
+  drop-in :class:`~repro.query.executor.Executor` subclass.
+
+The counter-equivalence contract (see DESIGN.md §3.8): for scan,
+filter, index, sort, projection and every non-hash join path the batch
+engine produces the *same* comparison / traversal / hash / move totals
+as the tuple-at-a-time engine — differential tests assert it — while
+the dereference cache's physical savings are reported separately under
+``OpCounters.extra["deref_saved_traversals"]``.  Only the hash
+equi-join swaps in a genuinely different (partitioned, dict-based)
+kernel, whose op counts are bounded above by the tuple engine's.
+"""
+
+from repro.query.vectorized.config import DEFAULT_BATCH_SIZE, ExecutionConfig
+from repro.query.vectorized.deref import (
+    DEREF_SAVED_COUNTER,
+    ref_extractor,
+    row_extractor,
+)
+from repro.query.vectorized.engine import BatchExecutor
+
+__all__ = [
+    "BatchExecutor",
+    "DEFAULT_BATCH_SIZE",
+    "DEREF_SAVED_COUNTER",
+    "ExecutionConfig",
+    "ref_extractor",
+    "row_extractor",
+]

@@ -1,0 +1,44 @@
+"""Execution-engine selection.
+
+``MainMemoryDatabase.configure_execution`` accepts either an
+:class:`ExecutionConfig` or its keyword fields; the default
+configuration keeps the tuple-at-a-time reference engine, so existing
+behaviour is unchanged unless a caller opts in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Rows per batch exchanged between pipelined operators.  Large enough
+#: to amortize per-batch bookkeeping, small enough that a pipeline's
+#: working set stays cache-resident.
+DEFAULT_BATCH_SIZE = 256
+
+#: Recognised engine names.
+ENGINES = ("tuple", "batch")
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Which executor evaluates plan trees, and its batch size.
+
+    ``engine`` — ``"tuple"`` (the reference tuple-at-a-time path) or
+    ``"batch"`` (the pipelined vectorized path).  ``batch_size`` only
+    matters for the batch engine.
+    """
+
+    engine: str = "tuple"
+    batch_size: int = DEFAULT_BATCH_SIZE
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown execution engine {self.engine!r}; "
+                f"choose one of {ENGINES}"
+            )
+        if not isinstance(self.batch_size, int) or self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be a positive integer, "
+                f"got {self.batch_size!r}"
+            )

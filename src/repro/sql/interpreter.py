@@ -21,7 +21,6 @@ from repro.query.predicates import (
     Predicate,
     between,
 )
-from repro.query.sort import quicksort
 from repro.sql import parser as ast
 from repro.sql.prepared import contains_parameters
 from repro.storage.schema import Field, FieldType, ForeignKey
@@ -542,9 +541,10 @@ class SQLInterpreter:
     def _order_by(
         self, result: TemporaryList, column: str, descending: bool
     ) -> TemporaryList:
-        extractor = result.value_extractor(column)
-        rows = list(result.rows())
-        quicksort(rows, key_of=extractor)
+        # Delegated to the executor so the batch engine can substitute
+        # its dereference-cached key extractor (same op counts, one
+        # physical deref per row).
+        rows = self.db.executor.sort_rows(result, column)
         if descending:
             rows.reverse()
         return TemporaryList(result.descriptor, rows)

@@ -72,6 +72,7 @@ class TestUniqueModelEquivalence:
 
 
 @pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.slow
 class TestDuplicateModelEquivalence:
     @LEAN
     @given(
@@ -150,6 +151,7 @@ class TestOrderedProperties:
 
 
 @pytest.mark.parametrize("kind", sorted(ORDERED_KINDS) + ["bplus"])
+@pytest.mark.slow
 class TestOrderedDuplicateScans:
     """Regression class: equal keys may straddle node boundaries, and
     directional scans must not lose any of them (a real T-Tree bug this

@@ -66,6 +66,7 @@ class TestTreeInequalityJoin:
                 [1], IDENT, ChainedBucketHashIndex(unique=False), "<"
             )
 
+    @pytest.mark.slow
     def test_cheaper_than_theta_join(self):
         # One descent + run scan per outer tuple beats comparing against
         # every inner tuple.

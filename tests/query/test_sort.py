@@ -69,6 +69,7 @@ class TestQuicksort:
         quicksort(items)
         assert items == list(range(2000))
 
+    @pytest.mark.slow
     def test_reverse_sorted_input(self):
         items = list(range(2000, 0, -1))
         quicksort(items)

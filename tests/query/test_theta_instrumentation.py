@@ -1,0 +1,110 @@
+"""Regression tests for the theta-join instrumentation audit.
+
+An audit found two sites evaluating comparisons outside the Section 3.1
+counters: the executor's ``_THETA_PREDICATES`` raw-lambda table (theta
+joins deliberately charge one ``count_compare`` per probed pair in
+``theta_join`` itself — the comparator stays uninstrumented, now
+documented on ``THETA_COMPARATORS``) and ``ValueTable.sort_by``'s raw
+key lambda (now counted per key comparison).  These tests pin the
+op totals so the sites cannot silently regress again.
+"""
+
+import operator
+
+import pytest
+
+from repro import Field, FieldType, MainMemoryDatabase
+from repro.instrument import counters_scope
+from repro.query import executor as executor_module
+from repro.query.aggregate import ValueTable
+from repro.query.plan import JoinNode, ScanNode
+from repro.query.predicates import THETA_COMPARATORS
+
+
+@pytest.fixture()
+def db():
+    database = MainMemoryDatabase()
+    database.create_relation(
+        "L",
+        [Field("Id", FieldType.INT), Field("V", FieldType.INT)],
+        primary_key="Id",
+    )
+    database.create_relation(
+        "Rr",
+        [Field("Id", FieldType.INT), Field("V", FieldType.INT)],
+        primary_key="Id",
+    )
+    for i, v in enumerate([1, 2, 3, 4]):
+        database.insert("L", [i, v])
+    for i, v in enumerate([1, 2, 3]):
+        database.insert("Rr", [i, v])
+    return database
+
+
+class TestThetaComparators:
+    def test_table_covers_all_theta_ops(self):
+        assert set(THETA_COMPARATORS) == {"=", "!=", "<", "<=", ">", ">="}
+
+    def test_maps_to_operator_module(self):
+        assert THETA_COMPARATORS["<"] is operator.lt
+        assert THETA_COMPARATORS["!="] is operator.ne
+
+    def test_raw_lambda_table_is_gone(self):
+        assert not hasattr(executor_module, "_THETA_PREDICATES")
+        assert not hasattr(
+            executor_module.Executor, "_THETA_PREDICATES"
+        )
+
+
+class TestThetaJoinTotals:
+    def test_nested_loops_theta_join_counts_pinned(self, db):
+        """|L|=4, |R|=3, op "<": totals charged by the theta path.
+
+        ``theta_join`` charges one comparison per probed pair (4*3) and
+        one move per emitted pair (matches (1,2),(1,3),(2,3)); each key
+        extraction through ``TemporaryList.value_extractor`` charges
+        one traversal — one per outer row plus one per probed pair —
+        and each of the two scans charges one traversal entering its
+        index walk.
+        """
+        plan = JoinNode(
+            ScanNode("L"), ScanNode("Rr"), "V", "V", "nested_loops", op="<"
+        )
+        with counters_scope() as counters:
+            result = db.executor.execute(plan)
+        values = [(row["L.V"], row["Rr.V"]) for row in result.to_dicts()]
+        assert values == [(1, 2), (1, 3), (2, 3)]
+        snap = counters.snapshot()
+        assert snap.comparisons == 4 * 3
+        assert snap.moves == 3
+        assert snap.traversals == 2 + 4 + 4 * 3
+
+    def test_not_equals_counts_every_pair(self, db):
+        plan = JoinNode(
+            ScanNode("L"), ScanNode("Rr"), "V", "V", "nested_loops", op="!="
+        )
+        with counters_scope() as counters:
+            result = db.executor.execute(plan)
+        assert len(result) == 4 * 3 - 3  # all pairs minus the equal ones
+        assert counters.snapshot().comparisons == 4 * 3
+
+
+class TestValueTableSortCounting:
+    def test_sort_by_counts_comparisons(self):
+        table = ValueTable(["k"], [(v,) for v in [5, 1, 4, 2, 3]])
+        with counters_scope() as counters:
+            ordered = table.sort_by("k")
+        assert [row[0] for row in ordered] == [1, 2, 3, 4, 5]
+        # Any comparison sort performs at least n-1 comparisons.
+        assert counters.snapshot().comparisons >= 4
+
+    def test_sort_by_is_stable(self):
+        rows = [(1, "a"), (0, "b"), (1, "c"), (0, "d")]
+        table = ValueTable(["k", "tag"], rows)
+        ordered = table.sort_by("k")
+        assert list(ordered) == [(0, "b"), (0, "d"), (1, "a"), (1, "c")]
+
+    def test_sort_by_descending(self):
+        table = ValueTable(["k"], [(v,) for v in [2, 3, 1]])
+        ordered = table.sort_by("k", descending=True)
+        assert [row[0] for row in ordered] == [3, 2, 1]

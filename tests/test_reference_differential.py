@@ -103,6 +103,7 @@ def world():
 
 
 class TestSelections(object):
+    @pytest.mark.slow
     def test_point_and_range_battery(self, world):
         db, suppliers, parts, shipments = world
         rng = random.Random(SEED + 1)
