@@ -1,0 +1,250 @@
+"""Morsel-driven parallel engine across worker counts.
+
+Runs the Graph-2-style 60/20/20 query mix (the same plan trees as
+``bench_vectorized.py``: 18 selections, 6 hash joins, 6 hash-dedup
+projections) through the batch engine at each ``--workers`` count and
+reports wall-clock, weighted cost, and raw counters per worker count,
+plus a parallel T-Tree index build series.
+
+Two properties are asserted:
+
+* **determinism** — every worker count produces identical result rows
+  and identical merged Section 3.1 counter totals (the
+  ``deref_saved_traversals`` extra is excluded: per-morsel memos cannot
+  span morsel boundaries, see DESIGN.md section 3.9);
+* **speedup** — with >= 4 CPU cores, a usable fork pool and full-scale
+  data, 4 workers must beat workers=1 by >= 2x wall-clock on the mix.
+  On smaller hosts or scaled-down data the speedup is recorded but
+  informational (morsel dispatch cannot beat Amdahl on one core);
+  set ``REPRO_REQUIRE_SPEEDUP=1`` to force the gate.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:
+    from benchmarks.bench_vectorized import (
+        N_INNER,
+        N_OUTER,
+        N_QUERIES,
+        build_db,
+        query_mix,
+        run_mix,
+    )
+    from benchmarks.harness import (
+        FULL_SCALE,
+        WORKERS,
+        SeriesCollector,
+        configure_engine,
+        measure,
+    )
+except ImportError:  # pragma: no cover - direct execution
+    from bench_vectorized import (
+        N_INNER,
+        N_OUTER,
+        N_QUERIES,
+        build_db,
+        query_mix,
+        run_mix,
+    )
+    from harness import (
+        FULL_SCALE,
+        WORKERS,
+        SeriesCollector,
+        configure_engine,
+        measure,
+    )
+
+from repro.instrument import counters_scope
+from repro.query.parallel import fork_available
+
+TIMING_ROUNDS = 3
+REQUIRED_SPEEDUP = 2.0
+GATED_WORKERS = 4
+
+#: Worker counts to sweep: the ``--workers`` selection, or the
+#: canonical {1, 2, 4} ladder when none was given.
+WORKER_SWEEP = WORKERS if WORKERS != (1,) else (1, 2, 4)
+
+#: Morsels sized so every scan decomposes into ~8 units even at the
+#: scaled-down default cardinalities.
+MORSEL_SIZE = max(256, N_OUTER // 8)
+
+
+def _pool_mode() -> str:
+    return "process" if fork_available() else "inline"
+
+
+def _cpu_count() -> int:
+    try:
+        return os.cpu_count() or 1
+    except Exception:  # pragma: no cover
+        return 1
+
+
+def speedup_gate_active() -> bool:
+    """Enforce the 2x gate only where 2x is physically attainable."""
+    if os.environ.get("REPRO_REQUIRE_SPEEDUP", "") not in ("", "0"):
+        return True
+    return (
+        FULL_SCALE
+        and _cpu_count() >= GATED_WORKERS
+        and fork_available()
+        and GATED_WORKERS in WORKER_SWEEP
+        and 1 in WORKER_SWEEP
+    )
+
+
+def _counters_key(snapshot) -> dict:
+    counts = snapshot.as_dict()
+    counts.pop("deref_saved_traversals", None)
+    return counts
+
+
+def run_query_mix(db, plans, series):
+    """Time the mix per worker count; return {workers: best seconds}."""
+    seconds = {}
+    reference_counts = None
+    reference_rows = None
+    for workers in WORKER_SWEEP:
+        configure_engine(
+            db,
+            engine="batch",
+            workers=workers,
+            morsel_size=MORSEL_SIZE,
+            pool=_pool_mode(),
+        )
+        with counters_scope() as scope:
+            rows = [db.executor.execute(plan).rows() for plan in plans]
+        counts = _counters_key(scope.snapshot())
+        if reference_counts is None:
+            reference_counts, reference_rows = counts, rows
+        else:
+            assert rows == reference_rows, (
+                f"workers={workers} changed result rows"
+            )
+            assert counts == reference_counts, (
+                f"workers={workers} changed merged counter totals: "
+                f"{counts} != {reference_counts}"
+            )
+        best = None
+        snap = None
+        for _ in range(TIMING_ROUNDS):
+            _, counters, elapsed = measure(lambda: run_mix(db, plans))
+            if best is None or elapsed < best:
+                best, snap = elapsed, counters
+        seconds[workers] = best
+        series.add(
+            workers,
+            seconds=best,
+            speedup_vs_1=round(seconds[WORKER_SWEEP[0]] / best, 3),
+            cost=snap.weighted_cost(),
+            comparisons=snap.comparisons,
+            traversals=snap.traversals,
+            hashes=snap.hashes,
+        )
+    configure_engine(db, engine="tuple")
+    return seconds
+
+
+def run_index_build(db, series):
+    """Time sequential vs. parallel T-Tree builds on the Orders table."""
+    relation = db.catalog.relation("Orders")
+    for label, workers in [("sequential", 1)] + [
+        (f"parallel@{n}", n) for n in WORKER_SWEEP if n > 1
+    ]:
+        configure_engine(
+            db,
+            engine="batch",
+            workers=workers,
+            morsel_size=MORSEL_SIZE,
+            pool=_pool_mode(),
+        )
+        best = None
+        snap = None
+        for _ in range(TIMING_ROUNDS):
+            _, counters, elapsed = measure(
+                lambda: relation.create_index(
+                    "bench_qty_ix", "Qty", kind="ttree",
+                    parallel=workers > 1,
+                )
+            )
+            relation.drop_index("bench_qty_ix")
+            if best is None or elapsed < best:
+                best, snap = elapsed, counters
+        series.add(
+            f"index build {label}",
+            seconds=best,
+            cost=snap.weighted_cost(),
+            traversals=snap.traversals,
+            comparisons=snap.comparisons,
+        )
+    configure_engine(db, engine="tuple")
+
+
+def main() -> None:
+    db = build_db()
+    plans = query_mix()
+
+    series = SeriesCollector(
+        f"Morsel-parallel batch engine - query mix 60/20/20, "
+        f"|Orders|={N_OUTER}, |Parts|={N_INNER}, morsel={MORSEL_SIZE}",
+        "workers",
+        [
+            "seconds",
+            "speedup_vs_1",
+            "cost",
+            "comparisons",
+            "traversals",
+            "hashes",
+        ],
+    )
+    seconds = run_query_mix(db, plans, series)
+
+    build_series = SeriesCollector(
+        f"Parallel T-Tree index build, |Orders|={N_OUTER}",
+        "build",
+        ["seconds", "cost", "traversals", "comparisons"],
+    )
+    run_index_build(db, build_series)
+    build_series.show()
+
+    baseline = seconds[WORKER_SWEEP[0]]
+    speedups = {
+        workers: round(baseline / elapsed, 3)
+        for workers, elapsed in seconds.items()
+    }
+    gate = speedup_gate_active()
+    series.publish(
+        "parallel_query_mix",
+        extra={
+            "speedups": {str(k): v for k, v in speedups.items()},
+            "required_speedup": REQUIRED_SPEEDUP,
+            "speedup_gate_enforced": gate,
+            "pool": _pool_mode(),
+            "cpu_count": _cpu_count(),
+            "morsel_size": MORSEL_SIZE,
+            "queries": N_QUERIES,
+            "mix": {"selections": 18, "joins": 6, "projections": 6},
+            "index_build": {
+                str(x): values for x, values in build_series.points
+            },
+        },
+        config={"engine": "batch", "workers": list(WORKER_SWEEP)},
+    )
+    print(
+        f"speedups vs workers={WORKER_SWEEP[0]}: {speedups} "
+        f"(gate {'ENFORCED' if gate else 'informational'}: "
+        f">= {REQUIRED_SPEEDUP}x at {GATED_WORKERS} workers)"
+    )
+    if gate:
+        achieved = speedups.get(GATED_WORKERS, 0.0)
+        assert achieved >= REQUIRED_SPEEDUP, (
+            f"parallel speedup {achieved:.2f}x at {GATED_WORKERS} workers "
+            f"is below the required {REQUIRED_SPEEDUP}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

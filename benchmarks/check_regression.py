@@ -93,18 +93,35 @@ def compare(
     for name in sorted(fresh_files - baseline_files):
         notes.append(f"{name}: new benchmark (no baseline), skipped")
     for name in sorted(baseline_files & fresh_files):
+        base_doc = _load(os.path.join(baseline_dir, name))
+        fresh_doc = _load(os.path.join(fresh_dir, name))
+        base_config = base_doc.get("config")
+        fresh_config = fresh_doc.get("config")
+        if base_config != fresh_config:
+            # Op counts are only comparable between identical
+            # engine/worker configurations; a mismatch means the runs
+            # measured different things, so comparing them would either
+            # false-alarm or (worse) vacuously pass.  Skip loudly.
+            notes.append(
+                f"{name}: config mismatch (baseline {base_config!r} vs "
+                f"fresh {fresh_config!r}), skipped"
+            )
+            continue
         base = dict(
             ((label, key), value)
-            for label, key, value in _flatten(
-                _load(os.path.join(baseline_dir, name))
-            )
+            for label, key, value in _flatten(base_doc)
         )
         fresh = dict(
             ((label, key), value)
-            for label, key, value in _flatten(
-                _load(os.path.join(fresh_dir, name))
-            )
+            for label, key, value in _flatten(fresh_doc)
         )
+        missing = sorted(base.keys() - fresh.keys())
+        if missing:
+            label, column = missing[0]
+            notes.append(
+                f"{name}: {len(missing)} baseline value(s) absent from "
+                f"the fresh run (first: [{label}] {column})"
+            )
         for key in sorted(base.keys() & fresh.keys()):
             before, after = base[key], fresh[key]
             if after > before * (1.0 + tolerance):

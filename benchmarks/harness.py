@@ -72,22 +72,64 @@ def _engine_arg() -> str:
 ENGINE = _engine_arg()
 
 
+def _workers_arg() -> Tuple[int, ...]:
+    """``--workers N[,M,...]`` (or REPRO_WORKERS); default (1,).
+
+    A comma list makes worker-aware benchmarks sweep one series per
+    worker count (mirroring ``--engine both``).
+    """
+    value = os.environ.get("REPRO_WORKERS", "") or "1"
+    for i, arg in enumerate(sys.argv):
+        if arg == "--workers" and i + 1 < len(sys.argv):
+            value = sys.argv[i + 1]
+        elif arg.startswith("--workers="):
+            value = arg.split("=", 1)[1]
+    try:
+        counts = tuple(int(part) for part in value.split(",") if part)
+    except ValueError:
+        counts = ()
+    if not counts or any(n < 1 for n in counts):
+        raise SystemExit(
+            f"--workers must be a comma list of positive ints, got {value!r}"
+        )
+    return counts
+
+
+#: Worker counts this run should cover (``--workers`` / REPRO_WORKERS).
+WORKERS = _workers_arg()
+
+
 def engines() -> Tuple[str, ...]:
     """The engine names this run should cover, in series order."""
     return ("tuple", "batch") if ENGINE == "both" else (ENGINE,)
 
 
-def configure_engine(db: Any, engine: str = None) -> Any:
+def configure_engine(
+    db: Any,
+    engine: str = None,
+    workers: int = None,
+    morsel_size: int = None,
+    pool: str = None,
+) -> Any:
     """Apply the selected engine to a database handle and return it.
 
     ``engine`` overrides the command-line selection (benchmarks looping
     over :func:`engines` pass each name explicitly); ``both`` on a
-    single handle falls back to the tuple engine.
+    single handle falls back to the tuple engine.  ``workers`` > 1
+    (only meaningful with the batch engine) enables morsel-driven
+    parallelism; ``morsel_size``/``pool`` tune it.
     """
     name = engine if engine is not None else ENGINE
     if name == "both":
         name = "tuple"
-    db.configure_execution(engine=name)
+    options: Dict[str, Any] = {}
+    if workers is not None and name == "batch":
+        options["workers"] = workers
+        if morsel_size is not None:
+            options["morsel_size"] = morsel_size
+        if pool is not None:
+            options["pool"] = pool
+    db.configure_execution(engine=name, **options)
     return db
 
 
@@ -205,6 +247,7 @@ class SeriesCollector:
         name: str,
         extra: Dict[str, Any] = None,
         spans: List[Dict[str, Any]] = None,
+        config: Dict[str, Any] = None,
     ) -> None:
         """Print the table and save it under benchmarks/results/.
 
@@ -214,7 +257,10 @@ class SeriesCollector:
         written alongside, carrying the series points plus any ``extra``
         payload (e.g. raw counter dicts).  ``spans`` (typically gathered
         via :func:`serialize_spans` when :data:`SPANS_MODE` is on) embeds
-        a per-operator breakdown in the document.
+        a per-operator breakdown in the document.  ``config`` overrides
+        the recorded engine/worker configuration (defaults to this run's
+        ``--engine``/``--workers`` selection); the regression gate only
+        compares documents whose configurations match.
         """
         text = self.render()
         print()
@@ -222,7 +268,7 @@ class SeriesCollector:
         print()
         save_result(name, text)
         if JSON_MODE:
-            save_result_json(name, self, extra, spans)
+            save_result_json(name, self, extra, spans, config)
 
 
 def save_result(name: str, text: str) -> str:
@@ -235,18 +281,26 @@ def save_result(name: str, text: str) -> str:
     return path
 
 
+def run_config() -> Dict[str, Any]:
+    """This run's engine/worker selection, as recorded in documents."""
+    return {"engine": ENGINE, "workers": list(WORKERS)}
+
+
 def save_result_json(
     name: str,
     series: "SeriesCollector",
     extra: Dict[str, Any] = None,
     spans: List[Dict[str, Any]] = None,
+    config: Dict[str, Any] = None,
 ) -> str:
     """Write ``benchmarks/results/BENCH_<name>.json``.
 
     The document is self-describing: series name, axis labels, the
-    points as ``{x, values}`` records, wall-clock/timestamp metadata,
-    and whatever the caller adds under ``extra``.  ``spans`` embeds a
-    per-operator span breakdown (see :func:`serialize_spans`).
+    points as ``{x, values}`` records, the engine/worker ``config`` the
+    series was measured under (so the regression gate never compares
+    baselines from different configurations), wall-clock/timestamp
+    metadata, and whatever the caller adds under ``extra``.  ``spans``
+    embeds a per-operator span breakdown (see :func:`serialize_spans`).
     """
     results_dir = os.path.join(os.path.dirname(__file__), "results")
     os.makedirs(results_dir, exist_ok=True)
@@ -259,6 +313,7 @@ def save_result_json(
         "points": [
             {"x": x, "values": values} for x, values in series.points
         ],
+        "config": config if config is not None else run_config(),
         "full_scale": FULL_SCALE,
         "seed": SEED,
         "unix_time": time.time(),

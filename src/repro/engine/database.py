@@ -28,6 +28,7 @@ Figure 2.  A minimal session::
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -131,6 +132,18 @@ class MainMemoryDatabase:
         self.result_cache = None
         self.observability = None
         self.execution_config = None
+        # CI hook: REPRO_EXEC_ENGINE/_WORKERS/_POOL select a default
+        # execution config for every database constructed in the
+        # process (the 2-worker pytest lane runs the whole suite on the
+        # parallel path this way).  Explicit configure_execution calls
+        # still override per instance.
+        env_engine = os.environ.get("REPRO_EXEC_ENGINE")
+        if env_engine:
+            self.configure_execution(
+                engine=env_engine,
+                workers=int(os.environ.get("REPRO_EXEC_WORKERS") or 1),
+                pool=os.environ.get("REPRO_EXEC_POOL") or None,
+            )
         if cache is not None:
             self.configure_cache(cache)
         # The transaction id used for log records when no transaction is
@@ -170,7 +183,14 @@ class MainMemoryDatabase:
     # ------------------------------------------------------------------ #
 
     def configure_execution(
-        self, config=None, *, engine: str = None, batch_size: int = None
+        self,
+        config=None,
+        *,
+        engine: str = None,
+        batch_size: int = None,
+        workers: int = None,
+        morsel_size: int = None,
+        pool: str = None,
     ):
         """Select the execution engine (tuple-at-a-time vs. batch).
 
@@ -178,33 +198,77 @@ class MainMemoryDatabase:
         :class:`~repro.query.vectorized.ExecutionConfig`; alternatively
         pass its fields as keywords.  Passing only ``batch_size``
         implies the batch engine.  Called with nothing, it restores the
-        default tuple-at-a-time engine.  Every plan evaluated through
+        default tuple-at-a-time engine.  ``workers=N`` with the batch
+        engine adds morsel-driven parallelism for ``N > 1``;
+        ``workers=1`` (the default) takes the scalar batch path exactly
+        — no worker pool is ever created.  Every plan evaluated through
         this database — ``select``/``join``/``project``, ``sql()``,
         prepared statements — runs on the selected engine; attached
-        result caches and observability carry over.  Returns the new
-        executor.
+        result caches and observability carry over.  Invalid settings
+        raise :class:`repro.errors.ConfigError` here, before any plan
+        runs.  Returns the new executor.
         """
+        from repro.errors import ConfigError
         from repro.query.vectorized import BatchExecutor, ExecutionConfig
 
+        keyword_fields = {
+            "engine": engine,
+            "batch_size": batch_size,
+            "workers": workers,
+            "morsel_size": morsel_size,
+            "pool": pool,
+        }
+        given = {
+            name: value
+            for name, value in keyword_fields.items()
+            if value is not None
+        }
         if config is None:
             if engine is None:
-                engine = "tuple" if batch_size is None else "batch"
-            kwargs = {"engine": engine}
-            if batch_size is not None:
-                kwargs["batch_size"] = batch_size
-            config = ExecutionConfig(**kwargs)
-        elif engine is not None or batch_size is not None:
-            raise ValueError(
+                wants_batch = bool(given)
+                given["engine"] = "batch" if wants_batch else "tuple"
+            config = ExecutionConfig(**given)
+        elif given:
+            raise ConfigError(
                 "pass either an ExecutionConfig or keyword fields, not both"
             )
+        previous = self.executor
         if config.engine == "batch":
-            self.executor = BatchExecutor(
-                self.catalog, self.result_cache, config.batch_size
-            )
+            if config.workers > 1:
+                from repro.query.parallel import ParallelBatchExecutor
+                from repro.query.parallel import runtime as par_runtime
+
+                self.executor = ParallelBatchExecutor(
+                    self.catalog,
+                    self.result_cache,
+                    config.batch_size,
+                    workers=config.workers,
+                    morsel_size=config.morsel_size,
+                    pool=config.pool,
+                )
+                par_runtime.activate_scheduler(self.executor.scheduler)
+            else:
+                self.executor = BatchExecutor(
+                    self.catalog, self.result_cache, config.batch_size
+                )
         else:
             self.executor = Executor(self.catalog, self.result_cache)
+        self._retire_executor(previous)
         self.execution_config = config
         return self.executor
+
+    def _retire_executor(self, executor) -> None:
+        """Release a replaced executor's pool and scheduler slot."""
+        if executor is None or executor is self.executor:
+            return
+        scheduler = getattr(executor, "scheduler", None)
+        if scheduler is not None:
+            from repro.query.parallel import runtime as par_runtime
+
+            par_runtime.deactivate_scheduler(scheduler)
+        close = getattr(executor, "close", None)
+        if close is not None:
+            close()
 
     # ------------------------------------------------------------------ #
     # observability

@@ -56,6 +56,17 @@ class UnsupportedOperationError(IndexError_):
     """
 
 
+class ConfigError(ReproError, ValueError):
+    """An engine/runtime configuration value is invalid.
+
+    Raised at configuration time (``db.configure_execution`` and the
+    config dataclasses behind it) so that a bad engine name or a
+    nonsensical batch/worker count fails fast instead of deep inside
+    the engine.  Also a :class:`ValueError` so callers that predate the
+    dedicated class keep working.
+    """
+
+
 class QueryError(ReproError):
     """A query-processing operation was mis-specified."""
 

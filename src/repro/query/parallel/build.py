@@ -1,0 +1,128 @@
+"""Two-phase parallel index build.
+
+Phase 1 (parallel, uncharged): workers walk disjoint slices of the
+relation's ``_all_refs`` order and physically extract every key — pure
+prefetch, so it runs in muted counter scopes (the cost model charges
+key extraction at the point of *logical* access, during the insert
+loop).  Phase 2 (serial, organic): the coordinator bulk-loads the
+index in the exact sequential insertion order through a *memoized*
+key extractor that charges one traversal per call — precisely what
+``Relation.key_extractor`` charges — while every physical dereference
+is served from the prefetched memo and tallied under
+``deref_saved_traversals``.
+
+Hence ``create_index(..., parallel=True)`` produces a structurally
+identical index with Section 3.1 counter totals *identical* to the
+sequential build for any worker count (the memo changes only the
+``extra`` savings tally), and the extractor swap at the end restores
+the relation's normal uncached extractor for all future DML.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+from repro.instrument import count_event, count_traverse, counters_scope
+from repro.query.parallel import runtime
+from repro.query.parallel.transport import morsel_bounds
+from repro.query.vectorized.deref import DEREF_SAVED_COUNTER
+
+_MISS = object()
+
+
+def _prefetch_keys(relation, field_spec, total: int) -> List[Any]:
+    """Every ref's key, in ``_all_refs`` order, physically extracted.
+
+    Uses the active scheduler's pool when it serves this relation's
+    catalog; otherwise extracts in-process.  Either way the work is
+    uncharged prefetch (see module docstring) — so worker count can
+    never change the build's counter totals.
+    """
+    scheduler = runtime.active_scheduler()
+    usable = (
+        scheduler is not None
+        and relation.name in scheduler.catalog
+        and scheduler.catalog.relation(relation.name) is relation
+    )
+    if usable:
+        bounds = morsel_bounds(total, scheduler.morsel_size)
+        if len(bounds) > 1:
+            payloads = [
+                (scheduler.token, relation.name, field_spec, start, stop)
+                for start, stop in bounds
+            ]
+            keys: List[Any] = []
+            for chunk, _counts in scheduler.run("extract_keys", payloads):
+                keys.extend(chunk)
+            return keys
+    # In-process prefetch (no scheduler, foreign catalog, or one morsel):
+    # same muted semantics as the worker task, without the shipping.
+    with counters_scope():
+        schema = relation.physical_schema
+        if isinstance(field_spec, (list, tuple)):
+            positions = [schema.position(name) for name in field_spec]
+
+            def read_key(ref):
+                part, slot = relation._locate(ref)
+                return tuple(part.read_field(slot, p) for p in positions)
+
+        else:
+            position = schema.position(field_spec)
+
+            def read_key(ref):
+                part, slot = relation._locate(ref)
+                return part.read_field(slot, position)
+
+        return [read_key(ref) for ref in relation._all_refs()]
+
+
+def bulk_load_parallel(
+    relation,
+    index,
+    field_spec,
+    final_extractor: Callable,
+) -> None:
+    """Populate ``index`` with every live tuple, keys prefetched.
+
+    ``final_extractor`` is the relation's normal (counted, uncached)
+    key extractor; it is installed as ``index.key_of`` once the bulk
+    load finishes so later DML behaves exactly like a sequentially
+    built index.
+    """
+    refs = list(relation._all_refs())
+    keys = _prefetch_keys(relation, field_spec, len(refs))
+    memo = dict(zip(refs, keys))
+    pending = [0]
+    miss = _MISS
+    get = memo.get
+
+    def cached(ref):
+        count_traverse()
+        value = get(ref, miss)
+        if value is miss:
+            # A ref outside the prefetch snapshot (cannot happen during
+            # the bulk load itself): the traversal is already charged,
+            # so only the physical read remains.
+            return _physical_read(relation, field_spec, ref)
+        pending[0] += 1
+        return value
+
+    index.key_of = cached
+    try:
+        for ref in refs:
+            index.insert(ref)
+    finally:
+        index.key_of = final_extractor
+        if pending[0]:
+            count_event(DEREF_SAVED_COUNTER, pending[0])
+
+
+def _physical_read(relation, field_spec, ref):
+    schema = relation.physical_schema
+    part, slot = relation._locate(ref)
+    if isinstance(field_spec, (list, tuple)):
+        return tuple(
+            part.read_field(slot, schema.position(name))
+            for name in field_spec
+        )
+    return part.read_field(slot, schema.position(field_spec))

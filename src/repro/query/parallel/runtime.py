@@ -1,0 +1,36 @@
+"""Process-wide slot for the active morsel scheduler.
+
+Mirrors :mod:`repro.obs.runtime`: the storage layer must not import the
+query engine, so ``Relation.create_index(..., parallel=True)`` reaches
+the scheduler through this slot (set by
+``MainMemoryDatabase.configure_execution`` when ``workers > 1``)
+instead of a direct dependency.  When the slot is empty — or holds a
+scheduler for a *different* catalog — parallel index builds degrade to
+the in-process two-phase build, which charges the same counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+_active_scheduler: Optional[Any] = None
+
+
+def active_scheduler() -> Optional[Any]:
+    """The current scheduler, or None."""
+    return _active_scheduler
+
+
+def activate_scheduler(scheduler: Any) -> Optional[Any]:
+    """Install ``scheduler``; returns the previous one (if any)."""
+    global _active_scheduler
+    previous = _active_scheduler
+    _active_scheduler = scheduler
+    return previous
+
+
+def deactivate_scheduler(scheduler: Any = None) -> None:
+    """Clear the slot (only if it still holds ``scheduler``, when given)."""
+    global _active_scheduler
+    if scheduler is None or _active_scheduler is scheduler:
+        _active_scheduler = None

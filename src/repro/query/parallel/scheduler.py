@@ -1,0 +1,167 @@
+"""The morsel scheduler: fans task payloads out to worker processes.
+
+One scheduler serves one catalog.  It owns (at most) one fork-based
+``ProcessPoolExecutor`` whose children inherit the catalog snapshot
+copy-on-write; the pool is created lazily on the first parallel
+dispatch and *re-forked* whenever the catalog fingerprint — every
+relation's ``(name, version)``, where versions tick on all DML/DDL —
+no longer matches the one the pool was forked under.  Forked-late
+workers are safe for the same reason: an unchanged fingerprint means
+logically unchanged data.
+
+Platforms without ``fork`` (and sandboxes whose process pools break at
+runtime) degrade to the **inline executor**: the same task functions
+run in-process, in the same isolated counter scopes, producing
+bit-identical results and counts — only the wall-clock parallelism is
+lost.  ``pool="inline"`` forces that mode deterministically for tests
+and CI.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+from typing import Any, List, Optional, Tuple
+
+from repro.query.parallel import tasks
+from repro.query.vectorized.config import DEFAULT_MORSEL_SIZE
+
+#: Process-wide token source for catalog registration slots.
+_token_counter = itertools.count(1)
+
+
+def fork_available() -> bool:
+    """Can this platform fork worker processes?"""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class MorselScheduler:
+    """Dispatches morsel tasks for one catalog, merging nothing itself.
+
+    ``run`` preserves payload order: result *i* corresponds to payload
+    *i*, so per-morsel outputs concatenate back into the scalar
+    engine's row order and per-morsel counts merge in a deterministic
+    order.
+    """
+
+    def __init__(
+        self,
+        catalog: Any,
+        workers: int,
+        pool_mode: str = "auto",
+        morsel_size: int = DEFAULT_MORSEL_SIZE,
+    ) -> None:
+        self.catalog = catalog
+        self.workers = int(workers)
+        self.pool_mode = pool_mode
+        #: Morsel granularity for dispatchers without their own setting
+        #: (e.g. the parallel index build reaching through the runtime
+        #: slot); the engine passes its configured value through.
+        self.morsel_size = int(morsel_size)
+        self.token = next(_token_counter)
+        tasks.register_catalog(self.token, catalog)
+        self._pool = None
+        self._pool_fingerprint: Optional[tuple] = None
+        self._blob_ids = itertools.count(1)
+        #: Why the last process-pool attempt fell back inline, if it did.
+        self.fallback_reason: Optional[str] = None
+        self.stats = {
+            "pool_forks": 0,
+            "process_runs": 0,
+            "inline_runs": 0,
+            "morsels": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # pool lifecycle
+    # ------------------------------------------------------------------ #
+
+    def fingerprint(self) -> tuple:
+        """Every relation's (name, version): the pool-validity stamp."""
+        return tuple(
+            (relation.name, relation.version) for relation in self.catalog
+        )
+
+    def next_blob_id(self) -> int:
+        """A fresh id for a broadcast blob (worker-side decode cache)."""
+        return next(self._blob_ids)
+
+    def _ensure_pool(self):
+        fingerprint = self.fingerprint()
+        if (
+            self._pool is not None
+            and fingerprint == self._pool_fingerprint
+        ):
+            return self._pool
+        self._discard_pool()
+        if not fork_available():
+            self.fallback_reason = "no fork start method on this platform"
+            return None
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        except Exception as exc:  # pragma: no cover - sandbox-dependent
+            self.fallback_reason = f"pool creation failed: {exc!r}"
+            return None
+        self._pool = pool
+        self._pool_fingerprint = fingerprint
+        self.stats["pool_forks"] += 1
+        return pool
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            # wait=True joins the workers and the pool's management
+            # thread; detached pools otherwise trip the interpreter's
+            # atexit hook on already-closed pipes.
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+            self._pool_fingerprint = None
+
+    def close(self) -> None:
+        """Shut the pool down and release the catalog slot."""
+        self._discard_pool()
+        tasks.release_catalog(self.token)
+
+    def __del__(self) -> None:  # pragma: no cover - gc timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self, kind: str, payloads: List[tuple]
+    ) -> List[Tuple[Any, tuple]]:
+        """Run every ``(kind, payload)`` task; results in payload order.
+
+        Each element of the returned list is ``(result, packed_counts)``
+        exactly as :func:`repro.query.parallel.tasks.run_task` returns
+        it.  A broken or unavailable process pool degrades to inline
+        execution of the same tasks — identical results and counts.
+        """
+        self.stats["morsels"] += len(payloads)
+        if self.pool_mode != "inline":
+            pool = self._ensure_pool()
+            if pool is not None:
+                try:
+                    futures = [
+                        pool.submit(tasks.run_task, (kind, payload))
+                        for payload in payloads
+                    ]
+                    results = [future.result() for future in futures]
+                    self.stats["process_runs"] += 1
+                    return results
+                except Exception as exc:
+                    # BrokenProcessPool and friends: the snapshot in the
+                    # parent is authoritative, so rerun inline.
+                    self.fallback_reason = f"pool dispatch failed: {exc!r}"
+                    self._discard_pool()
+        self.stats["inline_runs"] += 1
+        return [tasks.run_task((kind, payload)) for payload in payloads]

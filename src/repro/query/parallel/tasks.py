@@ -1,0 +1,293 @@
+"""Worker-side morsel tasks.
+
+Each task is a pure function over (a) the catalog snapshot the worker
+inherited when the pool forked and (b) a picklable payload.  A task
+runs inside its *own* isolated counter scope and returns
+``(result, packed_counts)``; the parent replays the packed counts into
+its active scope (under a per-morsel span when tracing), so the merged
+Section 3.1 totals are exactly what the scalar engine would have
+charged — see DESIGN.md section 3.9 for the decomposition argument per
+operator.
+
+Catalog snapshots are looked up by *token* in :data:`_CATALOGS`, a
+module global the parent fills before any pool process forks.  Because
+every relation mutation bumps ``Relation.version`` and the scheduler
+re-forks its pool whenever the catalog fingerprint changes, a worker's
+inherited snapshot is always logically identical to the parent state
+the task was computed against — even for workers forked late.
+"""
+
+from __future__ import annotations
+
+import pickle
+from itertools import islice
+from typing import Any, Dict, List, Tuple
+
+from repro.instrument import (
+    count_hash,
+    count_move,
+    count_traverse,
+    counters_scope,
+)
+from repro.instrument.counters import OpCounters
+from repro.query.executor import filter_column_resolver
+from repro.query.parallel.transport import (
+    decode_rows,
+    encode_refs,
+    encode_rows,
+    rebuild,
+)
+from repro.query.plan import REF_COLUMN
+from repro.query.vectorized.compile import compile_predicate
+from repro.query.vectorized.deref import (
+    RowFieldAccess,
+    ScanFieldAccess,
+    raw_row_extractor,
+)
+
+#: token -> Catalog.  Filled by the parent (scheduler) *before* pool
+#: processes fork, inherited copy-on-write by every worker.
+_CATALOGS: Dict[int, Any] = {}
+
+#: Decoded probe-table cache, worker-process-local: the same build-side
+#: blob is shipped with every probe morsel of one join; decoding it once
+#: per worker instead of once per morsel keeps the probe hot loop tight.
+_TABLE_CACHE: Dict[Tuple[int, int], dict] = {}
+_TABLE_CACHE_LIMIT = 4
+
+
+def register_catalog(token: int, catalog: Any) -> None:
+    _CATALOGS[token] = catalog
+
+
+def release_catalog(token: int) -> None:
+    _CATALOGS.pop(token, None)
+
+
+def pack_counts(counters: OpCounters) -> Tuple[int, ...]:
+    """An :class:`OpCounters` snapshot as a plain picklable tuple."""
+    return (
+        counters.comparisons,
+        counters.traversals,
+        counters.moves,
+        counters.hashes,
+        counters.allocations,
+        dict(counters.extra),
+    )
+
+
+def merge_packed(counters: OpCounters, packed: Tuple[int, ...]) -> None:
+    """Replay one worker's packed counts into ``counters``."""
+    comparisons, traversals, moves, hashes, allocations, extra = packed
+    counters.comparisons += comparisons
+    counters.traversals += traversals
+    counters.moves += moves
+    counters.hashes += hashes
+    counters.allocations += allocations
+    for name, value in extra.items():
+        counters.bump(name, value)
+
+
+def _muted_scan_slice(relation, start: int, stop: int) -> list:
+    """The scan-order refs in ``[start, stop)``, charging nothing.
+
+    The parent performs (and organically charges) the single canonical
+    index walk; worker-side re-walks of the forked snapshot are physical
+    bookkeeping only, so they run in a discarded counter scope.
+    """
+    with counters_scope():
+        return list(islice(relation.any_index().scan(), start, stop))
+
+
+def _batch_key(descriptor, column: str):
+    """(extractor over decoded rows, traversal charges per row)."""
+    if column == REF_COLUMN:
+        return (lambda row: row[0]), 0
+    return raw_row_extractor(descriptor, column), 1
+
+
+def build_groups(items: list, keys: list) -> dict:
+    """Group ``items`` by parallel ``keys``, insertion order preserved.
+
+    The per-morsel slice of the scalar hash build: charges one hash and
+    one move per row, exactly the build kernel's per-row charges; the
+    partition-header allocation is charged once by the coordinator.
+    """
+    groups: dict = {}
+    for item, key in zip(items, keys):
+        bucket = groups.get(key)
+        if bucket is None:
+            groups[key] = [item]
+        else:
+            bucket.append(item)
+    count_hash(len(items))
+    count_move(len(items))
+    return groups
+
+
+def probe_groups(groups: dict, rows: list, keys: list) -> list:
+    """Probe encoded rows against merged build groups.
+
+    Emits ``outer + inner`` concatenations with equal-key matches
+    newest-first (``reversed``), matching the scalar kernel's LIFO
+    order; charges one hash per probe row and one move per emitted row.
+    """
+    out: list = []
+    append = out.append
+    for row, key in zip(rows, keys):
+        matches = groups.get(key)
+        if matches is not None:
+            for inner in reversed(matches):
+                append(row + inner)
+    count_hash(len(rows))
+    count_move(len(out))
+    return out
+
+
+def local_dedup(rows: list, keys: list) -> list:
+    """First-occurrence-wins survivors of one morsel, with their keys.
+
+    Charges one hash per row (the scalar dedup kernel's per-row hash);
+    the single set allocation and the per-survivor moves are charged by
+    the coordinator over the *merged* survivor list.
+    """
+    seen = set()
+    add = seen.add
+    out: list = []
+    append = out.append
+    for row, key in zip(rows, keys):
+        if key not in seen:
+            add(key)
+            append((key, row))
+    count_hash(len(rows))
+    return out
+
+
+# --------------------------------------------------------------------- #
+# task handlers
+# --------------------------------------------------------------------- #
+
+
+def _scan_filter(payload) -> list:
+    """Filter one scan-order slice; returns encoded kept refs."""
+    token, relation_name, predicate, start, stop = payload
+    relation = _CATALOGS[token].relation(relation_name)
+    chunk = _muted_scan_slice(relation, start, stop)
+    access = ScanFieldAccess(relation)
+    mask = compile_predicate(predicate, access)
+    flags = mask(chunk)
+    kept = [ref for ref, keep in zip(chunk, flags) if keep]
+    access.flush()
+    return encode_refs(kept)
+
+
+def _filter_rows(payload) -> list:
+    """Filter one morsel of pointer rows; returns encoded kept rows."""
+    token, spec, predicate, encoded = payload
+    descriptor = rebuild(_CATALOGS[token], spec)
+    rows = decode_rows(encoded)
+    access = RowFieldAccess(descriptor, filter_column_resolver(descriptor))
+    mask = compile_predicate(predicate, access)
+    flags = mask(rows)
+    kept = [enc for enc, keep in zip(encoded, flags) if keep]
+    access.flush()
+    return kept
+
+
+def _hash_build(payload) -> dict:
+    """Group one build-side morsel by join key; values stay encoded."""
+    token, spec, column, encoded = payload
+    descriptor = rebuild(_CATALOGS[token], spec)
+    rows = decode_rows(encoded)
+    key_of, cost = _batch_key(descriptor, column)
+    keys = [key_of(row) for row in rows]
+    count_traverse(len(rows) * cost)
+    return build_groups(encoded, keys)
+
+
+def _hash_probe(payload) -> list:
+    """Probe one outer morsel against the broadcast build table."""
+    token, spec, column, table_id, blob, encoded = payload
+    descriptor = rebuild(_CATALOGS[token], spec)
+    cache_key = (token, table_id)
+    groups = _TABLE_CACHE.get(cache_key)
+    if groups is None:
+        groups = pickle.loads(blob)
+        if len(_TABLE_CACHE) >= _TABLE_CACHE_LIMIT:
+            _TABLE_CACHE.pop(next(iter(_TABLE_CACHE)))
+        _TABLE_CACHE[cache_key] = groups
+    rows = decode_rows(encoded)
+    key_of, cost = _batch_key(descriptor, column)
+    keys = [key_of(row) for row in rows]
+    count_traverse(len(rows) * cost)
+    return probe_groups(groups, encoded, keys)
+
+
+def _hash_dedup(payload) -> list:
+    """Locally deduplicate one morsel; returns (key, encoded row) pairs."""
+    token, spec, columns, encoded = payload
+    descriptor = rebuild(_CATALOGS[token], spec)
+    rows = decode_rows(encoded)
+    raw = [raw_row_extractor(descriptor, name) for name in columns]
+    if len(raw) == 1:
+        key_of = raw[0]
+    else:
+
+        def key_of(row):
+            return tuple(extract(row) for extract in raw)
+
+    keys = [key_of(row) for row in rows]
+    count_traverse(len(rows) * len(raw))
+    return local_dedup(encoded, keys)
+
+
+def _extract_keys(payload) -> list:
+    """Index-build key prefetch over one ``_all_refs`` slice.
+
+    Purely physical work — the cost model charges key extraction at the
+    point of *logical* access, during the coordinator's insert loop —
+    so everything here runs uncharged.
+    """
+    token, relation_name, field_spec, start, stop = payload
+    relation = _CATALOGS[token].relation(relation_name)
+    with counters_scope():
+        refs = list(islice(relation._all_refs(), start, stop))
+        schema = relation.physical_schema
+        if isinstance(field_spec, (list, tuple)):
+            positions = [schema.position(name) for name in field_spec]
+
+            def read_key(ref):
+                part, slot = relation._locate(ref)
+                return tuple(part.read_field(slot, p) for p in positions)
+
+        else:
+            position = schema.position(field_spec)
+
+            def read_key(ref):
+                part, slot = relation._locate(ref)
+                return part.read_field(slot, position)
+
+        return [read_key(ref) for ref in refs]
+
+
+_HANDLERS = {
+    "scan_filter": _scan_filter,
+    "filter_rows": _filter_rows,
+    "hash_build": _hash_build,
+    "hash_probe": _hash_probe,
+    "hash_dedup": _hash_dedup,
+    "extract_keys": _extract_keys,
+}
+
+
+def run_task(request: Tuple[str, tuple]) -> Tuple[Any, Tuple[int, ...]]:
+    """Run one morsel task in an isolated counter scope.
+
+    The entry point both pool workers and the inline executor call; the
+    isolated scope is what makes per-worker counting race-free and the
+    packed result mergeable by the parent.
+    """
+    kind, payload = request
+    with counters_scope() as scope:
+        result = _HANDLERS[kind](payload)
+    return result, pack_counts(scope)

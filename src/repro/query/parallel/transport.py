@@ -1,0 +1,126 @@
+"""Wire encoding between the parent process and morsel workers.
+
+Workers are forked copies of the parent, so relations travel by *name*
+(resolved against the worker's inherited catalog snapshot) and tuple
+pointers travel as plain ``(partition_id, slot)`` int pairs — about 8x
+cheaper to pickle than the :class:`~repro.storage.tuples.TupleRef`
+dataclass and fully stable across the fork boundary.  Result
+descriptors travel as specs: the source relation names plus the
+``(source, field, label)`` column triples, rebuilt worker-side against
+the same catalog.
+
+Only *plain* predicates cross the boundary: trees of the frozen
+``Comparison`` / ``Conjunction`` / ``Disjunction`` dataclasses over
+picklable literals.  Anything else (notably the FK-rewrite internals,
+which capture live ``Relation`` objects) keeps the operator on the
+in-process scalar path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.query.predicates import Comparison, Conjunction, Disjunction
+from repro.storage.temporary import ResultColumn, ResultDescriptor
+from repro.storage.tuples import TupleRef
+
+Row = Tuple[TupleRef, ...]
+
+#: Join/predicate literal types that are safe and cheap to pickle.
+_PLAIN_VALUES = (int, float, str, bytes, bool, type(None), TupleRef)
+
+
+def encode_refs(refs: Sequence[TupleRef]) -> List[Tuple[int, int]]:
+    """Tuple pointers -> ``(partition_id, slot)`` int pairs."""
+    return [(ref.partition_id, ref.slot) for ref in refs]
+
+
+def decode_refs(pairs: Sequence[Tuple[int, int]]) -> List[TupleRef]:
+    """``(partition_id, slot)`` int pairs -> tuple pointers."""
+    return [TupleRef(part, slot) for part, slot in pairs]
+
+
+def encode_rows(rows: Sequence[Row]) -> List[Tuple[Tuple[int, int], ...]]:
+    """Pointer rows -> tuples of ``(partition_id, slot)`` pairs."""
+    return [
+        tuple((ref.partition_id, ref.slot) for ref in row) for row in rows
+    ]
+
+
+def decode_rows(
+    encoded: Sequence[Tuple[Tuple[int, int], ...]]
+) -> List[Row]:
+    """Tuples of ``(partition_id, slot)`` pairs -> pointer rows."""
+    return [
+        tuple(TupleRef(part, slot) for part, slot in row)
+        for row in encoded
+    ]
+
+
+def describe(descriptor: ResultDescriptor) -> Tuple[Any, ...]:
+    """A picklable spec from which a worker rebuilds the descriptor."""
+    return (
+        tuple(relation.name for relation in descriptor.sources),
+        tuple(
+            (col.source, col.field, col.label)
+            for col in descriptor.columns
+        ),
+    )
+
+
+def rebuild(catalog, spec: Tuple[Any, ...]) -> ResultDescriptor:
+    """Worker-side inverse of :func:`describe`."""
+    source_names, column_specs = spec
+    return ResultDescriptor(
+        [catalog.relation(name) for name in source_names],
+        [
+            ResultColumn(source, field, label)
+            for source, field, label in column_specs
+        ],
+    )
+
+
+def describable(catalog, descriptor: ResultDescriptor) -> bool:
+    """Can this descriptor be rebuilt from the worker's catalog?
+
+    Every source must be the catalog's *own* registered relation (by
+    identity, not just by name) — otherwise the forked snapshot would
+    resolve the name to a different object than the parent computed
+    against.
+    """
+    for relation in descriptor.sources:
+        name = relation.name
+        if name not in catalog or catalog.relation(name) is not relation:
+            return False
+    return True
+
+
+def plain_predicate(predicate: Optional[Any]) -> bool:
+    """Is ``predicate`` a pure dataclass tree over plain literals?
+
+    The FK rewrite and user-defined ``Predicate`` subclasses may close
+    over live engine objects; those must not cross the process boundary
+    (and their compiled fallbacks may not decompose per-item anyway).
+    """
+    if predicate is None:
+        return True
+    if type(predicate) is Comparison:
+        return isinstance(predicate.value, _PLAIN_VALUES) and isinstance(
+            predicate.high, _PLAIN_VALUES
+        )
+    if type(predicate) in (Conjunction, Disjunction):
+        return all(plain_predicate(part) for part in predicate.parts)
+    return False
+
+
+def morsel_bounds(total: int, morsel_size: int) -> List[Tuple[int, int]]:
+    """``[start, stop)`` slices covering ``total`` items.
+
+    Purely a function of the input size and the configured morsel size —
+    never of the worker count — so per-morsel counter charges sum to
+    the same totals no matter how many workers drain the morsels.
+    """
+    return [
+        (start, min(start + morsel_size, total))
+        for start in range(0, total, morsel_size)
+    ]

@@ -31,7 +31,13 @@ equi-join swaps in a genuinely different (partitioned, dict-based)
 kernel, whose op counts are bounded above by the tuple engine's.
 """
 
-from repro.query.vectorized.config import DEFAULT_BATCH_SIZE, ExecutionConfig
+from repro.query.vectorized.config import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_MORSEL_SIZE,
+    ENGINES,
+    POOL_MODES,
+    ExecutionConfig,
+)
 from repro.query.vectorized.deref import (
     DEREF_SAVED_COUNTER,
     ref_extractor,
@@ -42,8 +48,11 @@ from repro.query.vectorized.engine import BatchExecutor
 __all__ = [
     "BatchExecutor",
     "DEFAULT_BATCH_SIZE",
+    "DEFAULT_MORSEL_SIZE",
     "DEREF_SAVED_COUNTER",
+    "ENGINES",
     "ExecutionConfig",
+    "POOL_MODES",
     "ref_extractor",
     "row_extractor",
 ]

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Any, Callable, Tuple
 
 from repro.instrument import count_event, count_traverse
+from repro.obs import runtime as obs_runtime
 from repro.storage.relation import Relation
 from repro.storage.temporary import ResultDescriptor
 from repro.storage.tuples import TupleRef
@@ -37,18 +38,40 @@ _MISS = object()
 
 
 def _attach_flush(extract: Callable, pending: list) -> Callable:
-    """Give ``extract`` a ``flush()`` draining its hit tally.
+    """Give ``extract`` a ``flush()`` draining its hit/miss tallies.
 
-    Per-hit bookkeeping is a bare list-cell increment — the hot path of
-    every cached extractor — and ``flush`` publishes the accumulated
-    savings with one :func:`count_event` call.  Callers flush at
-    operator (or batch) boundaries; flushing is idempotent.
+    Per-call bookkeeping is a bare list-cell increment (``pending`` is
+    ``[hits, misses]``) — the hot path of every cached extractor — and
+    ``flush`` publishes the accumulated savings with one
+    :func:`count_event` call.  When observability metrics are active,
+    the tallies also land in the
+    :class:`~repro.obs.metrics.MetricsRegistry` (and from there the
+    Prometheus-text exporter) as ``deref_saved_traversals_total`` and
+    per-outcome ``deref_cache_requests_total`` counters.  Callers flush
+    at operator (or batch) boundaries; flushing is idempotent.
     """
 
     def flush() -> None:
-        if pending[0]:
-            count_event(DEREF_SAVED_COUNTER, pending[0])
-            pending[0] = 0
+        hits, misses = pending
+        if hits:
+            count_event(DEREF_SAVED_COUNTER, hits)
+        if hits or misses:
+            act = obs_runtime.active()
+            if act is not None and act.metrics is not None:
+                if hits:
+                    act.metric_inc(
+                        "deref_saved_traversals_total", hits
+                    )
+                    act.metric_inc(
+                        "deref_cache_requests_total", hits, outcome="hit"
+                    )
+                if misses:
+                    act.metric_inc(
+                        "deref_cache_requests_total",
+                        misses,
+                        outcome="miss",
+                    )
+            pending[0] = pending[1] = 0
 
     extract.flush = flush
     return extract
@@ -72,7 +95,7 @@ def ref_extractor(
     locate = relation._locate
     memo: dict = {}
     miss = _MISS
-    pending = [0]
+    pending = [0, 0]
 
     if counted:
 
@@ -83,6 +106,7 @@ def ref_extractor(
                 part, slot = locate(ref)
                 value = part.read_field(slot, position)
                 memo[ref] = value
+                pending[1] += 1
             else:
                 pending[0] += 1
             return value
@@ -95,6 +119,7 @@ def ref_extractor(
                 part, slot = locate(ref)
                 value = part.read_field(slot, position)
                 memo[ref] = value
+                pending[1] += 1
             else:
                 pending[0] += 1
             return value
@@ -121,7 +146,7 @@ def row_extractor(
     locate = relation._locate
     memo: dict = {}
     miss = _MISS
-    pending = [0]
+    pending = [0, 0]
 
     if counted:
 
@@ -133,6 +158,7 @@ def row_extractor(
                 part, slot = locate(ref)
                 value = part.read_field(slot, position)
                 memo[ref] = value
+                pending[1] += 1
             else:
                 pending[0] += 1
             return value
@@ -146,6 +172,7 @@ def row_extractor(
                 part, slot = locate(ref)
                 value = part.read_field(slot, position)
                 memo[ref] = value
+                pending[1] += 1
             else:
                 pending[0] += 1
             return value

@@ -34,6 +34,12 @@ class TupleRef:
     partition_id: int
     slot: int
 
+    def __reduce__(self):
+        # Compact pickling: morsel workers and partition snapshots move
+        # refs across the process boundary in bulk, and the positional
+        # form is several times smaller/faster than dataclass state.
+        return (TupleRef, (self.partition_id, self.slot))
+
     def __repr__(self) -> str:
         return f"TupleRef({self.partition_id}:{self.slot})"
 

@@ -101,8 +101,12 @@ class TestCounterRollup:
     def test_root_includes_deep_descendant_ops(self, chain_db):
         _, root = _traced(chain_db, TWO_JOIN_SQL)
         deep = root.find("hash_join.probe")
-        assert deep is not None and deep.counters.comparisons > 0
-        assert root.counters.comparisons >= deep.counters.comparisons
+        # Probing charges hashes under every engine (the tuple engine
+        # additionally charges chain comparisons; the batch kernels do
+        # not, see DESIGN.md section 3.8), so the roll-up invariant is
+        # checked on the engine-neutral counter.
+        assert deep is not None and deep.counters.hashes > 0
+        assert root.counters.hashes >= deep.counters.hashes
 
     def test_tracing_is_transparent_to_enclosing_scopes(self, chain_db):
         """Zero-overhead contract: ops recorded under spans still land in
