@@ -14,7 +14,10 @@ The package implements the paper's MM-DBMS architecture end to end:
   elimination, plans, executor, and the Section 4 optimizer;
 * :mod:`repro.txn` — partition-granularity 2PL with deadlock detection;
 * :mod:`repro.recovery` — stable log buffer, change-accumulating log
-  device, simulated disk copy, working-set-first restart;
+  device, CRC32-framed simulated disk copy, working-set-first restart
+  with transient-read retry and partial (quarantining) mode;
+* :mod:`repro.fault` — deterministic seeded fault injection
+  (:meth:`~repro.engine.database.MainMemoryDatabase.configure_faults`);
 * :mod:`repro.workloads` — the Section 3.3.1 relation generator;
 * :mod:`repro.engine` — the :class:`~repro.engine.database.MainMemoryDatabase`
   facade.
@@ -48,16 +51,22 @@ Quickstart::
 
 from repro.engine.database import MainMemoryDatabase
 from repro.errors import (
+    CorruptImageError,
+    CorruptLogRecordError,
     DeadlockError,
     DuplicateKeyError,
+    InjectedFaultError,
     KeyNotFoundError,
+    PoisonedMorselError,
     QueryError,
     RecoveryError,
     ReproError,
     SchemaError,
     StorageError,
+    TornWriteError,
     TransactionError,
 )
+from repro.fault import FaultConfig, FaultInjector, FaultPolicy
 from repro.indexes import (
     ArrayIndex,
     AVLTreeIndex,
@@ -79,16 +88,23 @@ __all__ = [
     "ArrayIndex",
     "BTreeIndex",
     "ChainedBucketHashIndex",
+    "CorruptImageError",
+    "CorruptLogRecordError",
     "DeadlockError",
     "DuplicateKeyError",
     "ExtendibleHashIndex",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultPolicy",
     "Field",
     "FieldType",
     "ForeignKey",
+    "InjectedFaultError",
     "KeyNotFoundError",
     "LinearHashIndex",
     "MainMemoryDatabase",
     "ModifiedLinearHashIndex",
+    "PoisonedMorselError",
     "QueryError",
     "RecoveryError",
     "ReproError",
@@ -96,6 +112,7 @@ __all__ = [
     "SchemaError",
     "StorageError",
     "TTreeIndex",
+    "TornWriteError",
     "TransactionError",
     "TupleRef",
     "between",

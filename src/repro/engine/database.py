@@ -131,6 +131,7 @@ class MainMemoryDatabase:
         self.plan_cache = None
         self.result_cache = None
         self.observability = None
+        self.fault_injector = None
         self.execution_config = None
         # CI hook: REPRO_EXEC_ENGINE/_WORKERS/_POOL select a default
         # execution config for every database constructed in the
@@ -144,6 +145,13 @@ class MainMemoryDatabase:
                 workers=int(os.environ.get("REPRO_EXEC_WORKERS") or 1),
                 pool=os.environ.get("REPRO_EXEC_POOL") or None,
             )
+        # Chaos hook: REPRO_FAULTS carries a fault-injection spec (see
+        # repro.fault.config) so CI chaos lanes can exercise the
+        # degraded paths without code changes.  Explicit
+        # configure_faults calls still override.
+        env_faults = os.environ.get("REPRO_FAULTS")
+        if env_faults:
+            self.configure_faults(spec=env_faults)
         if cache is not None:
             self.configure_cache(cache)
         # The transaction id used for log records when no transaction is
@@ -191,6 +199,8 @@ class MainMemoryDatabase:
         workers: int = None,
         morsel_size: int = None,
         pool: str = None,
+        retry_attempts: int = None,
+        retry_timeout: float = None,
     ):
         """Select the execution engine (tuple-at-a-time vs. batch).
 
@@ -217,6 +227,8 @@ class MainMemoryDatabase:
             "workers": workers,
             "morsel_size": morsel_size,
             "pool": pool,
+            "retry_attempts": retry_attempts,
+            "retry_timeout": retry_timeout,
         }
         given = {
             name: value
@@ -245,6 +257,8 @@ class MainMemoryDatabase:
                     workers=config.workers,
                     morsel_size=config.morsel_size,
                     pool=config.pool,
+                    retry_attempts=config.retry_attempts,
+                    retry_timeout=config.retry_timeout,
                 )
                 par_runtime.activate_scheduler(self.executor.scheduler)
             else:
@@ -304,6 +318,67 @@ class MainMemoryDatabase:
         self.observability = Observability(config)
         obs_runtime.activate(self.observability)
         return self.observability
+
+    # ------------------------------------------------------------------ #
+    # fault injection
+    # ------------------------------------------------------------------ #
+
+    def configure_faults(
+        self,
+        config=None,
+        *,
+        seed: int = None,
+        policies: Sequence[Any] = None,
+        spec: str = None,
+    ):
+        """Install (or remove) the deterministic fault injector.
+
+        ``config`` is a :class:`~repro.fault.FaultConfig`; alternatively
+        pass ``seed`` plus a ``policies`` sequence of
+        :class:`~repro.fault.FaultPolicy`, or a ``spec`` string in the
+        ``REPRO_FAULTS`` syntax.  The injector is activated
+        *process-wide* — fault hooks consult a module-level slot, the
+        same contract as the observability hooks, so when disabled every
+        hook is a single global load.  Called with nothing (or with a
+        config carrying no policies), it deactivates fault injection
+        entirely and restores the zero-overhead no-op hooks.
+
+        Returns the installed
+        :class:`~repro.fault.FaultInjector` (or None when disabling).
+        """
+        from repro.errors import ConfigError
+        from repro.fault import FaultConfig, FaultInjector, parse_fault_spec
+        from repro.fault import runtime as fault_runtime
+
+        given = [
+            value for value in (seed, policies, spec) if value is not None
+        ]
+        if config is not None and given:
+            raise ConfigError(
+                "pass either a FaultConfig or keyword fields, not both"
+            )
+        if config is None:
+            if spec is not None:
+                if seed is not None or policies is not None:
+                    raise ConfigError(
+                        "pass either spec or seed/policies, not both"
+                    )
+                config = parse_fault_spec(spec)
+            else:
+                config = FaultConfig(
+                    seed=seed if seed is not None else 0,
+                    policies=tuple(policies) if policies else (),
+                )
+        if not config.enabled:
+            if self.fault_injector is not None and (
+                fault_runtime.active() is self.fault_injector
+            ):
+                fault_runtime.deactivate()
+            self.fault_injector = None
+            return None
+        self.fault_injector = FaultInjector(config.seed, config.policies)
+        fault_runtime.activate(self.fault_injector)
+        return self.fault_injector
 
     def cache_stats(self) -> Dict[str, Any]:
         """Hit/miss/eviction statistics for every installed cache layer."""
@@ -882,9 +957,15 @@ class MainMemoryDatabase:
     def recover(
         self,
         working_set: Optional[Sequence[Tuple[str, int]]] = None,
+        partial: bool = False,
     ) -> RestartStats:
-        """Restart after a crash; see :class:`RecoveryManager.restart`."""
-        return self._require_durable().restart(working_set)
+        """Restart after a crash; see :class:`RecoveryManager.restart`.
+
+        ``partial=True`` quarantines partitions whose stored image is
+        damaged (see :attr:`RestartStats.quarantined`) instead of
+        failing the whole restart.
+        """
+        return self._require_durable().restart(working_set, partial=partial)
 
     def finish_recovery(self) -> int:
         """Drain the background reload queue."""

@@ -95,5 +95,60 @@ class RecoveryError(ReproError):
     """The recovery subsystem failed to restore a consistent database."""
 
 
+class CorruptImageError(RecoveryError):
+    """A partition image failed its CRC32 integrity check.
+
+    Raised at the I/O boundary (:class:`~repro.recovery.disk.SimulatedDisk`
+    reads and :meth:`~repro.storage.partition.Partition.from_bytes`), so
+    corruption surfaces as a typed, catchable error instead of an
+    unpickling crash deep inside restart.
+    """
+
+
+class TornWriteError(CorruptImageError):
+    """A partition image is shorter than its frame header declares.
+
+    The signature of a write interrupted mid-partition — the paper's
+    partition is "the unit of both recovery and disk I/O", so a torn
+    write tears exactly one partition image.
+    """
+
+
+class CorruptLogRecordError(RecoveryError):
+    """A log record's content no longer matches its append-time checksum."""
+
+
+class InjectedFaultError(ReproError):
+    """A fault deliberately raised by the fault-injection subsystem.
+
+    Carries the fault ``point`` (e.g. ``"disk.read"``) and ``action``
+    so handlers and tests can tell injected failures from organic ones.
+    """
+
+    def __init__(self, point: str, action: str = "error") -> None:
+        super().__init__(f"injected fault at {point!r} (action={action})")
+        self.point = point
+        self.action = action
+
+    def __reduce__(self):
+        # Keep point/action intact across the worker-to-parent pickle
+        # round-trip of ProcessPoolExecutor results.
+        return (type(self), (self.point, self.action))
+
+
+class PoisonedMorselError(QueryError):
+    """A morsel kept failing after its retry budget, including the final
+    inline re-execution — the failure is the morsel's, not the pool's."""
+
+    def __init__(self, kind: str, index: int, cause: str) -> None:
+        super().__init__(
+            f"morsel {index} of {kind!r} task failed after exhausting its "
+            f"retry budget (last error: {cause})"
+        )
+        self.kind = kind
+        self.index = index
+        self.cause = cause
+
+
 class CatalogError(ReproError):
     """A catalog lookup failed or a name clashed."""

@@ -1,0 +1,110 @@
+"""Fault-injection configuration and the ``REPRO_FAULTS`` spec syntax.
+
+``db.configure_faults`` accepts a :class:`FaultConfig`; the
+``REPRO_FAULTS`` environment variable carries the same information as a
+compact one-line spec so CI lanes and chaos scripts can switch faults
+on without code changes::
+
+    REPRO_FAULTS="seed=42;pool.worker:action=error,prob=0.2,max=3;disk.read:action=corrupt,every=5"
+
+Grammar: ``;``-separated clauses.  A ``seed=N`` clause seeds the RNG;
+every other clause is ``<point>:<key>=<value>,...`` building one
+:class:`~repro.fault.injector.FaultPolicy`.  Recognised keys: ``action``,
+``prob``/``probability``, ``every``/``every_nth``, ``once`` (``1``/``0``),
+``max``/``max_fires``, ``latency``.  Malformed specs raise
+:class:`~repro.errors.ConfigError` at configuration time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.fault.injector import FaultPolicy
+
+#: Spec keys -> FaultPolicy field names.
+_KEY_ALIASES = {
+    "action": "action",
+    "prob": "probability",
+    "probability": "probability",
+    "every": "every_nth",
+    "every_nth": "every_nth",
+    "once": "one_shot",
+    "one_shot": "one_shot",
+    "max": "max_fires",
+    "max_fires": "max_fires",
+    "latency": "latency",
+}
+
+_INT_FIELDS = {"every_nth", "max_fires"}
+_FLOAT_FIELDS = {"probability", "latency"}
+_BOOL_FIELDS = {"one_shot"}
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Seed plus the policy set; an empty policy set means "disabled"."""
+
+    seed: int = 0
+    policies: Tuple[FaultPolicy, ...] = field(default_factory=tuple)
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.policies)
+
+
+def _parse_value(name: str, raw: str):
+    try:
+        if name in _INT_FIELDS:
+            return int(raw)
+        if name in _FLOAT_FIELDS:
+            return float(raw)
+        if name in _BOOL_FIELDS:
+            return raw not in ("0", "false", "no", "")
+    except ValueError:
+        raise ConfigError(
+            f"bad value {raw!r} for fault spec key {name!r}"
+        ) from None
+    return raw
+
+
+def parse_fault_spec(spec: str) -> FaultConfig:
+    """Parse a ``REPRO_FAULTS`` spec string into a :class:`FaultConfig`."""
+    seed = 0
+    policies = []
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        if clause.startswith("seed="):
+            try:
+                seed = int(clause[len("seed="):])
+            except ValueError:
+                raise ConfigError(
+                    f"bad seed in fault spec: {clause!r}"
+                ) from None
+            continue
+        point, sep, body = clause.partition(":")
+        point = point.strip()
+        if not point:
+            raise ConfigError(f"fault spec clause names no point: {clause!r}")
+        fields = {}
+        if sep:
+            for item in body.split(","):
+                item = item.strip()
+                if not item:
+                    continue
+                key, eq, raw = item.partition("=")
+                key = key.strip()
+                if key not in _KEY_ALIASES:
+                    raise ConfigError(
+                        f"unknown fault spec key {key!r} in {clause!r}; "
+                        f"recognised: {sorted(set(_KEY_ALIASES))}"
+                    )
+                name = _KEY_ALIASES[key]
+                fields[name] = (
+                    _parse_value(name, raw.strip()) if eq else True
+                )
+        policies.append(FaultPolicy(point=point, **fields))
+    return FaultConfig(seed=seed, policies=tuple(policies))

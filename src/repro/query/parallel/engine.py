@@ -62,6 +62,7 @@ from repro.query.vectorized.compile import compile_predicate
 from repro.query.vectorized.config import (
     DEFAULT_BATCH_SIZE,
     DEFAULT_MORSEL_SIZE,
+    DEFAULT_RETRY_ATTEMPTS,
 )
 from repro.query.vectorized.engine import BatchExecutor
 from repro.query.vectorized.kernels import (
@@ -88,6 +89,8 @@ class ParallelBatchExecutor(BatchExecutor):
         workers: int = 2,
         morsel_size: int = DEFAULT_MORSEL_SIZE,
         pool: str = "auto",
+        retry_attempts: int = DEFAULT_RETRY_ATTEMPTS,
+        retry_timeout: float = 0.0,
     ) -> None:
         super().__init__(catalog, result_cache, batch_size)
         if workers < 2:
@@ -98,7 +101,12 @@ class ParallelBatchExecutor(BatchExecutor):
         self.workers = int(workers)
         self.morsel_size = int(morsel_size)
         self.scheduler = MorselScheduler(
-            catalog, self.workers, pool, morsel_size=self.morsel_size
+            catalog,
+            self.workers,
+            pool,
+            morsel_size=self.morsel_size,
+            retry_attempts=retry_attempts,
+            retry_timeout=retry_timeout,
         )
 
     def close(self) -> None:

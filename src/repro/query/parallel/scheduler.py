@@ -9,6 +9,20 @@ no longer matches the one the pool was forked under.  Forked-late
 workers are safe for the same reason: an unchanged fingerprint means
 logically unchanged data.
 
+**Self-healing.**  Failures are handled per morsel, not per run: a
+morsel whose future fails (a worker exception, a died worker process, a
+gather timeout) is retried through the pool up to ``retry_attempts``
+total runs, with the pool re-forked first whenever it broke.  A morsel
+that exhausts the pool budget is *quarantined*: only it re-executes
+inline, while every already-gathered result is kept.  If even the
+inline run fails, the query dies with a typed
+:class:`~repro.errors.PoisonedMorselError` naming the morsel — the
+failure is the morsel's, not the pool's.  Because tasks are pure
+functions of the catalog snapshot and their payload, a retried morsel
+returns bit-identical ``(result, packed_counts)``; with fault injection
+active the scheduler re-verifies that differentially after every
+successful pool retry.
+
 Platforms without ``fork`` (and sandboxes whose process pools break at
 runtime) degrade to the **inline executor**: the same task functions
 run in-process, in the same isolated counter scopes, producing
@@ -19,12 +33,19 @@ and CI.
 
 from __future__ import annotations
 
+import concurrent.futures
 import itertools
 import multiprocessing
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.errors import InjectedFaultError, PoisonedMorselError
+from repro.fault import runtime as fault_runtime
+from repro.obs import runtime as obs_runtime
 from repro.query.parallel import tasks
-from repro.query.vectorized.config import DEFAULT_MORSEL_SIZE
+from repro.query.vectorized.config import (
+    DEFAULT_MORSEL_SIZE,
+    DEFAULT_RETRY_ATTEMPTS,
+)
 
 #: Process-wide token source for catalog registration slots.
 _token_counter = itertools.count(1)
@@ -33,6 +54,14 @@ _token_counter = itertools.count(1)
 def fork_available() -> bool:
     """Can this platform fork worker processes?"""
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _metric(name: str, amount: int = 1, **labels) -> None:
+    """Bump a scheduler metric when observability is active."""
+    if amount:
+        obs = obs_runtime.active()
+        if obs is not None:
+            obs.metric_inc(name, amount, **labels)
 
 
 class MorselScheduler:
@@ -50,6 +79,9 @@ class MorselScheduler:
         workers: int,
         pool_mode: str = "auto",
         morsel_size: int = DEFAULT_MORSEL_SIZE,
+        retry_attempts: int = DEFAULT_RETRY_ATTEMPTS,
+        retry_timeout: float = 0.0,
+        verify_retries: Optional[bool] = None,
     ) -> None:
         self.catalog = catalog
         self.workers = int(workers)
@@ -58,18 +90,35 @@ class MorselScheduler:
         #: (e.g. the parallel index build reaching through the runtime
         #: slot); the engine passes its configured value through.
         self.morsel_size = int(morsel_size)
+        #: Pool runs per morsel before quarantine (first run included).
+        self.retry_attempts = max(1, int(retry_attempts))
+        #: Seconds to wait for one morsel result; 0 waits forever.
+        self.retry_timeout = float(retry_timeout)
+        #: Re-run successfully retried morsels inline and assert the
+        #: results and packed counts are identical (the counter-merge
+        #: determinism contract).  None = automatic: on exactly when
+        #: fault injection is active.
+        self.verify_retries = verify_retries
         self.token = next(_token_counter)
         tasks.register_catalog(self.token, catalog)
         self._pool = None
         self._pool_fingerprint: Optional[tuple] = None
         self._blob_ids = itertools.count(1)
-        #: Why the last process-pool attempt fell back inline, if it did.
+        #: Why the last run fell back inline (verbose, None when the
+        #: last run stayed on the pool).  Reset at the start of every
+        #: ``run`` so a stale reason never outlives the run it blames.
         self.fallback_reason: Optional[str] = None
+        #: Short label for the same fallback, used as a metric label.
+        self.fallback_code: Optional[str] = None
         self.stats = {
             "pool_forks": 0,
+            "pool_reforks": 0,
             "process_runs": 0,
             "inline_runs": 0,
             "morsels": 0,
+            "morsel_retries": 0,
+            "quarantined_morsels": 0,
+            "verified_retries": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -95,7 +144,9 @@ class MorselScheduler:
             return self._pool
         self._discard_pool()
         if not fork_available():
-            self.fallback_reason = "no fork start method on this platform"
+            self._note_fallback(
+                "no-fork", "no fork start method on this platform"
+            )
             return None
         try:
             from concurrent.futures import ProcessPoolExecutor
@@ -105,11 +156,22 @@ class MorselScheduler:
                 mp_context=multiprocessing.get_context("fork"),
             )
         except Exception as exc:  # pragma: no cover - sandbox-dependent
-            self.fallback_reason = f"pool creation failed: {exc!r}"
+            self._note_fallback(
+                "pool-create-failed", f"pool creation failed: {exc!r}"
+            )
             return None
         self._pool = pool
         self._pool_fingerprint = fingerprint
         self.stats["pool_forks"] += 1
+        return pool
+
+    def _refork_pool(self):
+        """Replace a broken pool with a fresh fork, or None."""
+        self._discard_pool()
+        pool = self._ensure_pool()
+        if pool is not None:
+            self.stats["pool_reforks"] += 1
+            _metric("pool_reforks_total")
         return pool
 
     def _discard_pool(self) -> None:
@@ -133,6 +195,37 @@ class MorselScheduler:
             pass
 
     # ------------------------------------------------------------------ #
+    # failure bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _note_fallback(self, code: str, reason: str) -> None:
+        self.fallback_code = code
+        self.fallback_reason = reason
+        _metric("scheduler_fallback_total", reason=code)
+
+    def _verify_retries_active(self) -> bool:
+        if self.verify_retries is None:
+            return fault_runtime.active() is not None
+        return bool(self.verify_retries)
+
+    def _worker_fault(self, kind: str, index: int) -> Optional[str]:
+        """The parent-side ``pool.worker`` decision for one dispatch.
+
+        Returns the action to apply ("error" | "kill" | None).  The
+        decision is made here, in the parent, so the injector's seeded
+        RNG stays in one process and the fault sequence is replayable
+        regardless of worker scheduling.
+        """
+        injector = fault_runtime.active()
+        if injector is None:
+            return None
+        try:
+            action = injector.fire("pool.worker", kind=kind, morsel=index)
+        except InjectedFaultError:
+            return "error"
+        return action if action == "kill" else None
+
+    # ------------------------------------------------------------------ #
     # dispatch
     # ------------------------------------------------------------------ #
 
@@ -143,25 +236,195 @@ class MorselScheduler:
 
         Each element of the returned list is ``(result, packed_counts)``
         exactly as :func:`repro.query.parallel.tasks.run_task` returns
-        it.  A broken or unavailable process pool degrades to inline
-        execution of the same tasks — identical results and counts.
+        it.  Per-morsel failures retry through the pool (re-forking it
+        when it broke) up to the retry budget, then quarantine to one
+        inline re-execution; a broken or unavailable pool degrades the
+        whole run to inline execution of the same tasks — identical
+        results and counts either way.
         """
+        self.fallback_reason = None
+        self.fallback_code = None
         self.stats["morsels"] += len(payloads)
         if self.pool_mode != "inline":
-            pool = self._ensure_pool()
-            if pool is not None:
-                try:
-                    futures = [
-                        pool.submit(tasks.run_task, (kind, payload))
-                        for payload in payloads
-                    ]
-                    results = [future.result() for future in futures]
-                    self.stats["process_runs"] += 1
-                    return results
-                except Exception as exc:
-                    # BrokenProcessPool and friends: the snapshot in the
-                    # parent is authoritative, so rerun inline.
-                    self.fallback_reason = f"pool dispatch failed: {exc!r}"
-                    self._discard_pool()
+            results = self._run_pooled(kind, payloads)
+            if results is not None:
+                self.stats["process_runs"] += 1
+                return results
         self.stats["inline_runs"] += 1
-        return [tasks.run_task((kind, payload)) for payload in payloads]
+        return [
+            self._run_inline_one(kind, index, payload)
+            for index, payload in enumerate(payloads)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # pooled path
+    # ------------------------------------------------------------------ #
+
+    def _run_pooled(
+        self, kind: str, payloads: List[tuple]
+    ) -> Optional[List[Tuple[Any, tuple]]]:
+        """All results via the pool, or None for a whole-run fallback.
+
+        Per-morsel retries happen in rounds: every still-pending morsel
+        is submitted, the futures gather individually (so one failure
+        no longer discards its siblings' results), and only the failed
+        morsels carry into the next round.
+        """
+        pool = self._ensure_pool()
+        if pool is None:
+            return None
+        injector = fault_runtime.active()
+        if injector is not None:
+            try:
+                injector.fire(
+                    "pool.dispatch", kind=kind, morsels=len(payloads)
+                )
+            except InjectedFaultError as exc:
+                # The dispatch path itself is down; the parent snapshot
+                # is authoritative, so the whole run degrades inline.
+                self._note_fallback(
+                    "injected-dispatch-fault",
+                    f"injected dispatch fault: {exc}",
+                )
+                return None
+        results: List[Optional[Tuple[Any, tuple]]] = [None] * len(payloads)
+        attempts = [0] * len(payloads)
+        pending = list(range(len(payloads)))
+        retried_ok: List[int] = []
+        quarantined: List[int] = []
+        timeout = self.retry_timeout or None
+        while pending:
+            futures: Dict[int, Any] = {}
+            pool_broke = False
+            for index in pending:
+                action = self._worker_fault(kind, index)
+                task_fn = {
+                    None: tasks.run_task,
+                    "error": tasks.injected_failure,
+                    "kill": tasks.worker_exit,
+                }[action]
+                try:
+                    futures[index] = pool.submit(
+                        task_fn, (kind, payloads[index])
+                    )
+                except Exception:
+                    # submit() only fails when the pool itself is gone;
+                    # unsubmitted morsels simply stay pending.
+                    pool_broke = True
+                    break
+            failed: List[int] = []
+            for index in pending:
+                future = futures.get(index)
+                if future is None:
+                    failed.append(index)
+                    continue
+                try:
+                    results[index] = future.result(timeout=timeout)
+                    if attempts[index] > 0:
+                        retried_ok.append(index)
+                except concurrent.futures.TimeoutError:
+                    # The worker may be wedged on this morsel; give up
+                    # on the whole pool rather than on the morsel.
+                    future.cancel()
+                    pool_broke = True
+                    failed.append(index)
+                except Exception as exc:
+                    failed.append(index)
+                    if self._broken_pool_error(exc):
+                        pool_broke = True
+            pending = []
+            for index in failed:
+                attempts[index] += 1
+                if attempts[index] >= self.retry_attempts:
+                    quarantined.append(index)
+                else:
+                    pending.append(index)
+                    self.stats["morsel_retries"] += 1
+                    _metric("morsel_retries_total", kind=kind)
+            if pool_broke:
+                if pending:
+                    pool = self._refork_pool()
+                    if pool is None:
+                        # No pool to retry against: everything unfinished
+                        # is quarantined to the inline executor.
+                        quarantined.extend(pending)
+                        pending = []
+                else:
+                    # Nothing left to retry; don't leave a broken pool
+                    # for the next run to trip over.
+                    self._discard_pool()
+        for index in quarantined:
+            self.stats["quarantined_morsels"] += 1
+            _metric("quarantined_morsels_total", kind=kind)
+            results[index] = self._run_inline_one(
+                kind, index, payloads[index], budget=1
+            )
+        if retried_ok and self._verify_retries_active():
+            self._verify_retried(kind, payloads, results, retried_ok)
+        return results
+
+    @staticmethod
+    def _broken_pool_error(exc: BaseException) -> bool:
+        # BrokenProcessPool subclasses BrokenExecutor; anything else
+        # raised by a future is the task's own failure.
+        return isinstance(exc, concurrent.futures.BrokenExecutor)
+
+    def _verify_retried(
+        self,
+        kind: str,
+        payloads: List[tuple],
+        results: List[Tuple[Any, tuple]],
+        indices: List[int],
+    ) -> None:
+        """Differential check: a retried morsel must be bit-identical.
+
+        Tasks are pure functions of (catalog snapshot, payload), so a
+        retry that succeeded must return exactly what the first attempt
+        would have — result *and* packed counts.  Re-running inline (an
+        isolated counter scope, no charges leak) and comparing proves
+        the merged Section 3.1 totals are unaffected by retries.
+        """
+        for index in indices:
+            replay = tasks.run_task((kind, payloads[index]))
+            if replay != results[index]:
+                raise AssertionError(
+                    f"retried morsel {index} of {kind!r} diverged from "
+                    f"its inline replay — the counter-merge determinism "
+                    f"contract is broken"
+                )
+            self.stats["verified_retries"] += 1
+            _metric("verified_retries_total", kind=kind)
+
+    # ------------------------------------------------------------------ #
+    # inline path
+    # ------------------------------------------------------------------ #
+
+    def _run_inline_one(
+        self,
+        kind: str,
+        index: int,
+        payload: tuple,
+        budget: Optional[int] = None,
+    ) -> Tuple[Any, tuple]:
+        """One morsel inline, with the same bounded retry semantics.
+
+        ``pool.worker`` faults apply here too (both actions surface as
+        :class:`InjectedFaultError` — there is no process to kill), so
+        chaos runs exercise retry even under ``pool="inline"``.  After
+        the budget the morsel is poisoned.
+        """
+        remaining = self.retry_attempts if budget is None else max(1, budget)
+        last: Optional[BaseException] = None
+        for attempt in range(remaining):
+            try:
+                action = self._worker_fault(kind, index)
+                if action is not None:
+                    raise InjectedFaultError("pool.worker", action)
+                return tasks.run_task((kind, payload))
+            except Exception as exc:
+                last = exc
+                if attempt + 1 < remaining:
+                    self.stats["morsel_retries"] += 1
+                    _metric("morsel_retries_total", kind=kind)
+        _metric("poisoned_morsels_total", kind=kind)
+        raise PoisonedMorselError(kind, index, repr(last)) from last

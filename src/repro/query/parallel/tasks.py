@@ -270,6 +270,36 @@ def _extract_keys(payload) -> list:
         return [read_key(ref) for ref in refs]
 
 
+# --------------------------------------------------------------------- #
+# injected worker failures (scheduler-side fault decisions)
+# --------------------------------------------------------------------- #
+
+
+def injected_failure(request: Tuple[str, tuple]) -> None:
+    """A worker task that fails: the ``pool.worker`` "error" action.
+
+    The parent decides the fault at dispatch time (keeping the seeded
+    RNG in one process) and submits this instead of the real task, so
+    the failure takes the full worker round-trip — pickling, the pool's
+    result plumbing, the parent-side gather — like an organic one.
+    """
+    from repro.errors import InjectedFaultError
+
+    raise InjectedFaultError("pool.worker", "error")
+
+
+def worker_exit(request: Tuple[str, tuple]) -> None:
+    """A worker task that dies hard: the ``pool.worker`` "kill" action.
+
+    ``os._exit`` skips all cleanup, exactly like a segfault or an OOM
+    kill; the pool notices the lost process and breaks every outstanding
+    future, which is the scheduler's cue to re-fork.
+    """
+    import os
+
+    os._exit(1)
+
+
 _HANDLERS = {
     "scan_filter": _scan_filter,
     "filter_rows": _filter_rows,

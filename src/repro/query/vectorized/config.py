@@ -35,6 +35,12 @@ ENGINES = ("tuple", "batch")
 #: Windows-free CI).
 POOL_MODES = ("auto", "process", "inline")
 
+#: Run attempts per morsel before it is quarantined to the inline
+#: executor: the first run plus one retry.  Enough to absorb any single
+#: transient worker failure without hiding a persistently failing
+#: morsel behind a long retry storm.
+DEFAULT_RETRY_ATTEMPTS = 2
+
 
 @dataclass(frozen=True)
 class ExecutionConfig:
@@ -48,6 +54,13 @@ class ExecutionConfig:
     ``morsel_size`` sets the parallel work-unit size and the minimum
     input size worth parallelising; ``pool`` picks the worker-pool
     mode (see :data:`POOL_MODES`).
+
+    ``retry_attempts`` bounds how many times one morsel may run before
+    the scheduler quarantines it (first run included); a quarantined
+    morsel re-executes inline once, and only if that also fails does the
+    query die with :class:`~repro.errors.PoisonedMorselError`.
+    ``retry_timeout`` (seconds) bounds the wait for one morsel result
+    from the pool — 0 waits forever.
     """
 
     engine: str = "tuple"
@@ -55,6 +68,8 @@ class ExecutionConfig:
     workers: int = 1
     morsel_size: int = DEFAULT_MORSEL_SIZE
     pool: str = "auto"
+    retry_attempts: int = DEFAULT_RETRY_ATTEMPTS
+    retry_timeout: float = 0.0
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -91,4 +106,20 @@ class ExecutionConfig:
             raise ConfigError(
                 f"unknown pool mode {self.pool!r}; "
                 f"choose one of {POOL_MODES}"
+            )
+        if not isinstance(self.retry_attempts, int) or isinstance(
+            self.retry_attempts, bool
+        ) or self.retry_attempts < 1:
+            raise ConfigError(
+                f"retry_attempts must be a positive integer, "
+                f"got {self.retry_attempts!r}"
+            )
+        if (
+            not isinstance(self.retry_timeout, (int, float))
+            or isinstance(self.retry_timeout, bool)
+            or self.retry_timeout < 0
+        ):
+            raise ConfigError(
+                f"retry_timeout must be a non-negative number, "
+                f"got {self.retry_timeout!r}"
             )

@@ -13,9 +13,34 @@ media failure — that is what the disk copy is for.
 
 from __future__ import annotations
 
+import pickle
 import threading
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
+
+from repro.errors import CorruptLogRecordError
+from repro.fault import runtime as fault_runtime
+
+
+def record_checksum(
+    lsn: int,
+    txn_id: int,
+    relation: str,
+    partition_id: int,
+    kind: str,
+    payload: Dict[str, Any],
+) -> int:
+    """CRC32 over a record's canonical content (payload keys sorted)."""
+    canonical = (
+        lsn,
+        txn_id,
+        relation,
+        partition_id,
+        kind,
+        tuple(sorted(payload.items(), key=lambda item: item[0])),
+    )
+    return zlib.crc32(pickle.dumps(canonical, protocol=4))
 
 
 @dataclass(frozen=True)
@@ -25,6 +50,11 @@ class LogRecord:
     ``kind`` is "insert" | "update" | "delete" | "forward"; ``payload``
     carries the kind-specific fields (slot, values, position, target...).
     The (relation, partition) pair is the paper's recovery unit.
+
+    ``checksum`` is sealed at append time by the stable buffer; replay
+    verifies it (:func:`verify_record`) so a record damaged between
+    append and application surfaces as a typed error instead of silent
+    misreplay.  Hand-built records without a checksum skip verification.
     """
 
     lsn: int
@@ -33,6 +63,46 @@ class LogRecord:
     partition_id: int
     kind: str
     payload: Dict[str, Any]
+    checksum: Optional[int] = None
+
+    def sealed(self) -> "LogRecord":
+        """A copy with its checksum computed from the current content."""
+        return LogRecord(
+            self.lsn,
+            self.txn_id,
+            self.relation,
+            self.partition_id,
+            self.kind,
+            self.payload,
+            record_checksum(
+                self.lsn,
+                self.txn_id,
+                self.relation,
+                self.partition_id,
+                self.kind,
+                self.payload,
+            ),
+        )
+
+
+def verify_record(record: LogRecord) -> None:
+    """Raise :class:`CorruptLogRecordError` on a checksum mismatch."""
+    if record.checksum is None:
+        return
+    actual = record_checksum(
+        record.lsn,
+        record.txn_id,
+        record.relation,
+        record.partition_id,
+        record.kind,
+        record.payload,
+    )
+    if actual != record.checksum:
+        raise CorruptLogRecordError(
+            f"log record lsn={record.lsn} for "
+            f"{record.relation}[{record.partition_id}] fails its checksum "
+            f"(stored 0x{record.checksum:08x}, content 0x{actual:08x})"
+        )
 
 
 @dataclass(frozen=True)
@@ -68,11 +138,33 @@ class StableLogBuffer:
         kind: str,
         payload: Dict[str, Any],
     ) -> LogRecord:
-        """Write one record on behalf of an active transaction."""
+        """Write one record on behalf of an active transaction.
+
+        The record is sealed with its content checksum.  The
+        ``log.append`` fault point can fail the append (``error``) or
+        seal the record with a damaged checksum (``corrupt``), which
+        replay later detects as :class:`CorruptLogRecordError`.
+        """
+        action = None
+        injector = fault_runtime.active()
+        if injector is not None:
+            action = injector.fire(
+                "log.append", relation=relation, partition=partition_id
+            )
         with self._mutex:
             record = LogRecord(
                 self._next_lsn, txn_id, relation, partition_id, kind, payload
-            )
+            ).sealed()
+            if action == "corrupt":
+                record = LogRecord(
+                    record.lsn,
+                    record.txn_id,
+                    record.relation,
+                    record.partition_id,
+                    record.kind,
+                    record.payload,
+                    record.checksum ^ 0xFFFF,
+                )
             self._next_lsn += 1
             self._pending.setdefault(txn_id, []).append(record)
             self.records_written += 1

@@ -18,9 +18,10 @@ import threading
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import HeapOverflowError, RecoveryError
+from repro.fault import runtime as fault_runtime
 from repro.obs import runtime as obs_runtime
 from repro.recovery.disk import SimulatedDisk
-from repro.recovery.log import LogRecord, StableLogBuffer
+from repro.recovery.log import LogRecord, StableLogBuffer, verify_record
 from repro.storage.partition import Partition
 
 PartitionKey = Tuple[str, int]
@@ -40,7 +41,23 @@ def apply_record(partition: Partition, record: LogRecord) -> None:
     Update replays that exhaust the image's bump-allocated heap trigger a
     compaction and retry — tuple slots never move, so replay determinism
     is preserved.
+
+    Records sealed with a checksum are verified first: a record damaged
+    between append and application raises
+    :class:`~repro.errors.CorruptLogRecordError` *before* touching the
+    partition, so a bad record never half-applies.
     """
+    try:
+        verify_record(record)
+    except RecoveryError:
+        obs = obs_runtime.active()
+        if obs is not None:
+            obs.metric_inc(
+                "checksum_failures_total",
+                device="log",
+                kind="CorruptLogRecordError",
+            )
+        raise
     payload = record.payload
     if record.kind == "insert":
         try:
@@ -116,19 +133,49 @@ class LogDevice:
                 keys = keys[:max_partitions]
             batches = {key: self._accumulation.pop(key) for key in keys}
         applied = 0
-        for (relation, partition_id), records in batches.items():
-            image = self.disk.read_partition(relation, partition_id)
-            partition = Partition.from_bytes(image)
-            for record in sorted(records, key=lambda r: r.lsn):
-                apply_record(partition, record)
-            self.disk.write_partition(
-                relation, partition_id, partition.to_bytes()
-            )
-            applied += len(records)
+        written = 0
+        injector = fault_runtime.active()
+        try:
+            for key in list(batches):
+                relation, partition_id = key
+                if injector is not None:
+                    # The crash window between absorb and propagation:
+                    # an injected flush fault aborts here, and the
+                    # except clause below requeues everything not yet
+                    # written — a crash at this point loses nothing.
+                    injector.fire(
+                        "log.flush",
+                        relation=relation,
+                        partition=partition_id,
+                    )
+                records = batches[key]
+                image = self.disk.read_partition(relation, partition_id)
+                partition = Partition.from_bytes(image)
+                for record in sorted(records, key=lambda r: r.lsn):
+                    apply_record(partition, record)
+                self.disk.write_partition(
+                    relation, partition_id, partition.to_bytes()
+                )
+                batches[key] = []
+                applied += len(records)
+                written += 1
+        except Exception:
+            # Propagation is partition-atomic: fully-written partitions
+            # keep their fresh images, everything else returns to the
+            # accumulation log for the next propagate (or for restart's
+            # on-the-fly merge).
+            with self._mutex:
+                for key, pending in batches.items():
+                    if pending:
+                        self._accumulation.setdefault(key, []).extend(
+                            pending
+                        )
+                self.records_propagated += applied
+            raise
         with self._mutex:
             self.records_propagated += applied
         _metric("log_records_propagated_total", applied)
-        _metric("log_partition_writes_total", len(batches))
+        _metric("log_partition_writes_total", written)
         return applied
 
     # ------------------------------------------------------------------ #
@@ -176,8 +223,18 @@ class LogDevice:
         partition = Partition.from_bytes(image)
         with self._mutex:
             records = self._accumulation.pop((relation, partition_id), [])
-        for record in sorted(records, key=lambda r: r.lsn):
-            apply_record(partition, record)
+        try:
+            for record in sorted(records, key=lambda r: r.lsn):
+                apply_record(partition, record)
+        except Exception:
+            # The merge failed (e.g. a corrupt record): nothing was
+            # consumed.  Requeue so a retry — or the quarantine report —
+            # still sees every pending record.
+            with self._mutex:
+                self._accumulation.setdefault(
+                    (relation, partition_id), []
+                ).extend(records)
+            raise
         _metric("log_restart_merges_total", 1)
         _metric("log_restart_records_merged_total", len(records))
         if records:

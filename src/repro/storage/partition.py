@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import (
+    CorruptImageError,
     DanglingPointerError,
     HeapOverflowError,
     PartitionFullError,
@@ -344,8 +345,23 @@ class Partition:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Partition":
-        """Reconstruct a partition from :meth:`to_bytes` output."""
-        state = pickle.loads(data)
+        """Reconstruct a partition from :meth:`to_bytes` output.
+
+        Bytes that do not decode as a partition image raise
+        :class:`~repro.errors.CorruptImageError` — the disk frame's
+        CRC32 catches damage to a valid image, and this catches images
+        that were never valid.
+        """
+        try:
+            state = pickle.loads(data)
+            if not isinstance(state, dict) or "slots" not in state:
+                raise ValueError("not a partition image")
+        except CorruptImageError:
+            raise
+        except Exception as exc:
+            raise CorruptImageError(
+                f"partition image does not decode: {exc!r}"
+            ) from exc
         slot_capacity, heap_capacity = state["config"]
         part = cls(state["id"], PartitionConfig(slot_capacity, heap_capacity))
         part._slots = [

@@ -1,0 +1,21 @@
+"""Fault-injection test fixtures.
+
+The active fault injector (like the active observability instance) is a
+process-wide module slot; every test here clears both on exit so no
+injected fault or metric registry leaks into unrelated tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fault import runtime as fault_runtime
+from repro.obs import runtime as obs_runtime
+
+
+@pytest.fixture(autouse=True)
+def clean_runtime():
+    """Guarantee no injector or observability survives a test."""
+    yield
+    fault_runtime.deactivate()
+    obs_runtime.deactivate()

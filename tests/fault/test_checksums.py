@@ -1,0 +1,328 @@
+"""Checksummed durability: framing, typed corruption, partial recovery."""
+
+import pytest
+
+from repro.errors import (
+    CorruptImageError,
+    CorruptLogRecordError,
+    TornWriteError,
+)
+from repro.fault import FaultPolicy
+from repro.obs import ObservabilityConfig
+from repro.recovery.framing import HEADER_SIZE, MAGIC, frame, unframe
+from repro.recovery.log import LogRecord, record_checksum, verify_record
+from tests.conftest import EMPLOYEES
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        payload = b"the partition image"
+        assert unframe(frame(payload)) == payload
+
+    def test_empty_payload_roundtrip(self):
+        assert unframe(frame(b"")) == b""
+
+    def test_frame_layout(self):
+        framed = frame(b"xyz")
+        assert framed[:4] == MAGIC
+        assert len(framed) == HEADER_SIZE + 3
+
+    def test_truncated_frame_is_torn(self):
+        framed = frame(b"a partition image, torn mid-write")
+        with pytest.raises(TornWriteError):
+            unframe(framed[: len(framed) - 5])
+
+    def test_truncated_header_is_torn(self):
+        with pytest.raises(TornWriteError):
+            unframe(frame(b"abc")[: HEADER_SIZE - 1])
+
+    def test_flipped_payload_byte_is_corrupt(self):
+        framed = bytearray(frame(b"a partition image"))
+        framed[-1] ^= 0xFF
+        with pytest.raises(CorruptImageError) as err:
+            unframe(bytes(framed), "Employee[0]")
+        assert "Employee[0]" in str(err.value)
+
+    def test_bad_magic_is_corrupt(self):
+        framed = bytearray(frame(b"image"))
+        framed[0] ^= 0xFF
+        with pytest.raises(CorruptImageError):
+            unframe(bytes(framed))
+
+    def test_torn_is_a_corrupt_image(self):
+        # Callers that only care about "damaged" can catch the base.
+        assert issubclass(TornWriteError, CorruptImageError)
+
+
+class TestPersistentDamage:
+    def _checkpointed(self, durable_db):
+        durable_db.checkpoint()
+        return durable_db.recovery.disk
+
+    def test_corrupt_image_detected_at_read(self, durable_db):
+        disk = self._checkpointed(durable_db)
+        disk.damage_partition("Employee", 0, mode="corrupt")
+        with pytest.raises(CorruptImageError):
+            disk.read_partition("Employee", 0)
+
+    def test_torn_image_detected_at_read(self, durable_db):
+        disk = self._checkpointed(durable_db)
+        disk.damage_partition("Employee", 0, mode="torn")
+        with pytest.raises(TornWriteError):
+            disk.read_partition("Employee", 0)
+
+    def test_default_restart_is_all_or_nothing(self, durable_db):
+        self._checkpointed(durable_db)
+        durable_db.recovery.disk.damage_partition("Employee", 0)
+        durable_db.crash()
+        with pytest.raises(CorruptImageError):
+            durable_db.recover()
+
+    def test_partial_restart_quarantines_damage(self, durable_db):
+        self._checkpointed(durable_db)
+        durable_db.recovery.disk.damage_partition("Employee", 0)
+        durable_db.crash()
+        stats = durable_db.recover(partial=True)
+        assert not stats.fully_recovered
+        ((key, reason),) = stats.quarantined
+        assert key == ("Employee", 0)
+        assert "checksum" in reason or "CRC" in reason.upper()
+        # The healthy relation came up consistent and queryable.
+        assert len(durable_db.select("Department")) == 4
+        report = stats.quarantine_report()
+        assert list(report) == ["Employee"]
+
+    def test_quarantined_partition_not_background_queued(self, durable_db):
+        self._checkpointed(durable_db)
+        durable_db.recovery.disk.damage_partition("Employee", 0)
+        durable_db.crash()
+        durable_db.recover(partial=True)
+        assert ("Employee", 0) not in durable_db.recovery._pending_background
+        assert durable_db.finish_recovery() == 0
+
+    def test_partial_restart_with_working_set(self, durable_db):
+        self._checkpointed(durable_db)
+        manager = durable_db.recovery
+        manager.disk.damage_partition("Employee", 0)
+        durable_db.crash()
+        dept_parts = [
+            key for key in manager.disk.partition_keys()
+            if key[0] == "Department"
+        ]
+        stats = durable_db.recover(working_set=dept_parts, partial=True)
+        assert stats.working_set_partitions == len(dept_parts)
+        assert len(durable_db.select("Department")) == 4
+        # The damaged partition surfaces when the background reload
+        # reaches it, quarantined into the same stats object.
+        durable_db.finish_recovery()
+        assert [key for key, __ in stats.quarantined] == [("Employee", 0)]
+
+    def test_rewrite_clears_damage(self, durable_db):
+        disk = self._checkpointed(durable_db)
+        disk.damage_partition("Employee", 0)
+        durable_db.checkpoint()  # fresh images overwrite the damage
+        disk.read_partition("Employee", 0)  # no raise
+
+
+class TestTransientReadFaults:
+    def test_restart_heals_transient_corruption(self, durable_db):
+        durable_db.checkpoint()
+        durable_db.crash()
+        durable_db.configure_faults(
+            seed=1,
+            policies=[
+                FaultPolicy("disk.read", action="corrupt", one_shot=True)
+            ],
+        )
+        stats = durable_db.recover()  # default mode: no quarantine needed
+        durable_db.configure_faults()
+        assert stats.read_retries == 1
+        assert stats.fully_recovered
+        assert len(durable_db.select("Employee")) == len(EMPLOYEES)
+
+    def test_persistent_injected_write_corruption(self, durable_db):
+        # A corrupt *write* persists: recovery cannot heal it by retry.
+        durable_db.configure_faults(
+            seed=1,
+            policies=[
+                FaultPolicy(
+                    "disk.write",
+                    action="corrupt",
+                    one_shot=True,
+                    match={"relation": "Employee"},
+                )
+            ],
+        )
+        durable_db.checkpoint()
+        durable_db.configure_faults()
+        durable_db.crash()
+        stats = durable_db.recover(partial=True)
+        assert [key for key, __ in stats.quarantined] == [("Employee", 0)]
+
+    def test_torn_injected_write(self, durable_db):
+        durable_db.configure_faults(
+            seed=1,
+            policies=[
+                FaultPolicy(
+                    "disk.write",
+                    action="torn",
+                    one_shot=True,
+                    match={"relation": "Employee"},
+                )
+            ],
+        )
+        durable_db.checkpoint()
+        durable_db.configure_faults()
+        with pytest.raises(TornWriteError):
+            durable_db.recovery.disk.read_partition("Employee", 0)
+
+
+class TestLogRecordChecksums:
+    def _record(self):
+        return LogRecord(
+            7, 1, "Employee", 0, "insert", {"slot": 0, "values": [1]}
+        ).sealed()
+
+    def test_sealed_record_verifies(self):
+        verify_record(self._record())  # no raise
+
+    def test_checksum_is_content_addressed(self):
+        record = self._record()
+        assert record.checksum == record_checksum(
+            7, 1, "Employee", 0, "insert", {"slot": 0, "values": [1]}
+        )
+
+    def test_tampered_record_detected(self):
+        record = self._record()
+        tampered = LogRecord(
+            record.lsn,
+            record.txn_id,
+            record.relation,
+            record.partition_id,
+            "delete",  # content changed after sealing
+            record.payload,
+            record.checksum,
+        )
+        with pytest.raises(CorruptLogRecordError):
+            verify_record(tampered)
+
+    def test_unsealed_record_skips_verification(self):
+        verify_record(
+            LogRecord(1, 1, "R", 0, "insert", {"slot": 0, "values": []})
+        )
+
+    def test_appended_records_are_sealed(self, durable_db):
+        durable_db.checkpoint()
+        durable_db.insert("Employee", ["Sealed", 300, 30, 459])
+        log = durable_db.recovery.stable_log
+        records = log.drain_committed()
+        assert records and all(r.checksum is not None for r in records)
+        for record in records:
+            verify_record(record)
+
+    def test_corrupt_append_surfaces_at_restart(self, durable_db):
+        durable_db.checkpoint()
+        durable_db.configure_faults(
+            seed=1,
+            policies=[
+                FaultPolicy("log.append", action="corrupt", one_shot=True)
+            ],
+        )
+        durable_db.insert("Employee", ["Bad", 301, 30, 459])
+        durable_db.configure_faults()
+        durable_db.crash()
+        with pytest.raises(CorruptLogRecordError):
+            durable_db.recover()
+
+    def test_corrupt_record_quarantines_in_partial_mode(self, durable_db):
+        durable_db.checkpoint()
+        durable_db.configure_faults(
+            seed=1,
+            policies=[
+                FaultPolicy("log.append", action="corrupt", one_shot=True)
+            ],
+        )
+        durable_db.insert("Employee", ["Bad", 301, 30, 459])
+        durable_db.configure_faults()
+        durable_db.crash()
+        stats = durable_db.recover(partial=True)
+        assert [key for key, __ in stats.quarantined] == [("Employee", 0)]
+        assert len(durable_db.select("Department")) == 4
+
+
+class TestChecksumMetrics:
+    def test_disk_failures_counted(self, durable_db):
+        obs = durable_db.configure_observability(ObservabilityConfig())
+        durable_db.checkpoint()
+        durable_db.recovery.disk.damage_partition("Employee", 0)
+        with pytest.raises(CorruptImageError):
+            durable_db.recovery.disk.read_partition("Employee", 0)
+        assert (
+            obs.metrics.counter(
+                "checksum_failures_total",
+                device="disk",
+                kind="CorruptImageError",
+            ).value
+            == 1
+        )
+
+    def test_recovery_retry_and_quarantine_counted(self, durable_db):
+        obs = durable_db.configure_observability(ObservabilityConfig())
+        durable_db.checkpoint()
+        durable_db.recovery.disk.damage_partition("Employee", 0)
+        durable_db.crash()
+        durable_db.recover(partial=True)
+        assert (
+            obs.metrics.counter(
+                "recovery_read_retries_total", relation="Employee"
+            ).value
+            >= 1
+        )
+        assert (
+            obs.metrics.counter(
+                "recovery_quarantined_partitions_total", relation="Employee"
+            ).value
+            == 1
+        )
+
+    def test_log_failures_counted(self, durable_db):
+        obs = durable_db.configure_observability(ObservabilityConfig())
+        durable_db.checkpoint()
+        durable_db.configure_faults(
+            seed=1,
+            policies=[
+                FaultPolicy("log.append", action="corrupt", one_shot=True)
+            ],
+        )
+        durable_db.insert("Employee", ["Bad", 302, 30, 459])
+        durable_db.configure_faults()
+        durable_db.crash()
+        with pytest.raises(CorruptLogRecordError):
+            durable_db.recover()
+        assert (
+            obs.metrics.counter(
+                "checksum_failures_total",
+                device="log",
+                kind="CorruptLogRecordError",
+            ).value
+            >= 1
+        )
+
+    def test_fault_injections_counted(self, durable_db):
+        obs = durable_db.configure_observability(ObservabilityConfig())
+        durable_db.checkpoint()
+        durable_db.crash()
+        durable_db.configure_faults(
+            seed=1,
+            policies=[
+                FaultPolicy("disk.read", action="corrupt", one_shot=True)
+            ],
+        )
+        durable_db.recover()
+        durable_db.configure_faults()
+        assert (
+            obs.metrics.counter(
+                "fault_injections_total", point="disk.read", action="corrupt"
+            ).value
+            == 1
+        )

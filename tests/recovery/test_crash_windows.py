@@ -1,0 +1,174 @@
+"""Crash-timing windows: checkpoint, append-to-flush, and propagation.
+
+Each test injects a fault at a precise point in the durability pipeline,
+crashes, and asserts restart reproduces exactly the committed state —
+the Section 4 claim that a crash can hit any window without losing
+committed work or resurrecting uncommitted work.
+"""
+
+import pytest
+
+from repro import eq
+from repro.errors import InjectedFaultError
+from repro.fault import FaultPolicy
+from repro.fault import runtime as fault_runtime
+from repro.obs import runtime as obs_runtime
+from tests.conftest import EMPLOYEES
+
+
+@pytest.fixture(autouse=True)
+def clean_runtime():
+    yield
+    fault_runtime.deactivate()
+    obs_runtime.deactivate()
+
+
+def _employee_names(db):
+    return sorted(
+        row[0] for row in db.select("Employee").materialize()
+    )
+
+
+class TestCrashDuringCheckpoint:
+    def test_partial_checkpoint_recovers_committed_state(self, durable_db):
+        durable_db.checkpoint()  # base images for every partition
+        durable_db.insert("Employee", ["Window", 90, 31, 459])
+        committed = _employee_names(durable_db)
+        disk = durable_db.recovery.disk
+        writes_before = disk.writes
+        # Department partitions are checkpointed first (creation order),
+        # so failing the first Employee partition models a crash with
+        # the checkpoint half done.
+        durable_db.configure_faults(
+            seed=1,
+            policies=[
+                FaultPolicy(
+                    "checkpoint.partition",
+                    one_shot=True,
+                    match={"relation": "Employee"},
+                )
+            ],
+        )
+        with pytest.raises(InjectedFaultError):
+            durable_db.checkpoint()
+        durable_db.configure_faults()
+        # The crash hit mid-checkpoint: some partitions were imaged...
+        assert disk.writes > writes_before
+        # ...but not all of them.
+        assert disk.writes < writes_before + len(
+            durable_db.recovery.disk.partition_keys()
+        )
+        durable_db.crash()
+        stats = durable_db.recover()
+        assert stats.fully_recovered
+        assert _employee_names(durable_db) == committed
+        assert len(durable_db.select("Employee", eq("Id", 90))) == 1
+
+    def test_interrupted_checkpoint_then_more_commits(self, durable_db):
+        # Commits that land *after* the failed checkpoint still recover:
+        # the half-imaged partitions merge their records onto the fresh
+        # image, the rest onto the old one.
+        durable_db.checkpoint()
+        durable_db.configure_faults(
+            seed=1,
+            policies=[
+                FaultPolicy(
+                    "checkpoint.partition",
+                    one_shot=True,
+                    match={"relation": "Employee"},
+                )
+            ],
+        )
+        durable_db.insert("Employee", ["Before", 91, 33, 409])
+        with pytest.raises(InjectedFaultError):
+            durable_db.checkpoint()
+        durable_db.configure_faults()
+        durable_db.insert("Employee", ["After", 92, 34, 411])
+        committed = _employee_names(durable_db)
+        durable_db.crash()
+        durable_db.recover()
+        assert _employee_names(durable_db) == committed
+
+
+class TestCrashBetweenAppendAndFlush:
+    def test_committed_but_unpropagated_records_survive(self, durable_db):
+        durable_db.checkpoint()
+        durable_db.insert("Employee", ["Stable", 93, 28, 455])
+        # The record sits committed in the battery-backed stable buffer;
+        # nothing propagated it to the disk copy yet.
+        assert durable_db.recovery.stable_log.committed_backlog > 0
+        durable_db.crash()
+        durable_db.recover()
+        assert len(durable_db.select("Employee", eq("Id", 93))) == 1
+        assert len(durable_db.select("Employee")) == len(EMPLOYEES) + 1
+
+    def test_uncommitted_transaction_dies_with_the_crash(self, durable_db):
+        durable_db.checkpoint()
+        log = durable_db.recovery.stable_log
+        # Model a transaction caught mid-append: records written to the
+        # stable buffer, commit record never arrived.
+        txn = durable_db.begin()
+        durable_db.insert("Employee", ["Ghost", 94, 40, 455], txn=txn)
+        log.append(txn.id, "Employee", 0, "insert", {"slot": 99,
+                                                     "values": []})
+        assert log.pending_transactions == 1
+        durable_db.crash()
+        durable_db.recover()
+        # Deferred updates: the uncommitted work never existed.
+        assert log.pending_transactions == 0
+        assert len(durable_db.select("Employee", eq("Id", 94))) == 0
+        assert _employee_names(durable_db) == sorted(
+            name for name, *_ in EMPLOYEES
+        )
+
+    def test_mixed_commit_and_crash(self, durable_db):
+        durable_db.checkpoint()
+        committed_txn = durable_db.begin()
+        durable_db.insert(
+            "Employee", ["Kept", 95, 29, 459], txn=committed_txn
+        )
+        committed_txn.commit()
+        doomed_txn = durable_db.begin()
+        durable_db.insert("Employee", ["Lost", 96, 30, 459], txn=doomed_txn)
+        durable_db.crash()
+        durable_db.recover()
+        assert len(durable_db.select("Employee", eq("Id", 95))) == 1
+        assert len(durable_db.select("Employee", eq("Id", 96))) == 0
+
+
+class TestCrashDuringPropagation:
+    def test_flush_fault_requeues_and_recovers(self, durable_db):
+        durable_db.checkpoint()
+        durable_db.insert("Employee", ["Flush", 97, 26, 411])
+        device = durable_db.recovery.log_device
+        durable_db.configure_faults(
+            seed=1,
+            policies=[FaultPolicy("log.flush", one_shot=True)],
+        )
+        with pytest.raises(InjectedFaultError):
+            durable_db.propagate_log()
+        durable_db.configure_faults()
+        # The interrupted flush lost nothing: the records went back to
+        # the accumulation log...
+        assert device.pending_count() > 0
+        durable_db.crash()
+        durable_db.recover()
+        # ...and restart merges them on the fly.
+        assert len(durable_db.select("Employee", eq("Id", 97))) == 1
+
+    def test_retried_propagation_applies_once(self, durable_db):
+        durable_db.checkpoint()
+        durable_db.insert("Employee", ["Once", 98, 27, 409])
+        durable_db.configure_faults(
+            seed=1,
+            policies=[FaultPolicy("log.flush", one_shot=True)],
+        )
+        with pytest.raises(InjectedFaultError):
+            durable_db.propagate_log()
+        durable_db.configure_faults()
+        durable_db.propagate_log()  # retry succeeds
+        assert durable_db.recovery.log_device.pending_count() == 0
+        durable_db.crash()
+        durable_db.recover()
+        rows = durable_db.select("Employee", eq("Id", 98))
+        assert len(rows) == 1  # applied exactly once, not twice

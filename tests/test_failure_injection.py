@@ -18,9 +18,11 @@ from repro import (
     eq,
 )
 from repro.errors import (
+    CorruptImageError,
     DanglingPointerError,
     HeapOverflowError,
     PartitionFullError,
+    TornWriteError,
     PlanError,
     TransactionError,
     UnsupportedOperationError,
@@ -32,13 +34,35 @@ from repro.storage.tuples import TupleRef
 class TestDiskFaults:
     def test_corrupted_disk_image_raises_on_recovery(self, durable_db):
         durable_db.checkpoint()
-        # Corrupt one image in place.
+        # Corrupt one image in place.  The garbage frames cleanly (the
+        # CRC covers the bytes as written), so the failure surfaces at
+        # decode — still the same typed error as checksum damage.
         key = durable_db.recovery.disk.partition_keys()[0]
         durable_db.recovery.disk.write_partition(
             key[0], key[1], b"\x00garbage\xff"
         )
         durable_db.crash()
-        with pytest.raises(Exception):  # unpickling failure surfaces
+        with pytest.raises(CorruptImageError):
+            durable_db.recover()
+
+    def test_bitflipped_disk_image_raises_typed(self, durable_db):
+        durable_db.checkpoint()
+        relation, partition_id = durable_db.recovery.disk.partition_keys()[0]
+        durable_db.recovery.disk.damage_partition(
+            relation, partition_id, mode="corrupt"
+        )
+        durable_db.crash()
+        with pytest.raises(CorruptImageError):
+            durable_db.recover()
+
+    def test_torn_disk_image_raises_typed(self, durable_db):
+        durable_db.checkpoint()
+        relation, partition_id = durable_db.recovery.disk.partition_keys()[0]
+        durable_db.recovery.disk.damage_partition(
+            relation, partition_id, mode="torn"
+        )
+        durable_db.crash()
+        with pytest.raises(TornWriteError):
             durable_db.recover()
 
     def test_missing_disk_image_raises(self, durable_db):
