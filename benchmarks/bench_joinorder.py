@@ -1,0 +1,207 @@
+"""Join-order benchmark: written-order vs. cost-ordered multi-join chains.
+
+Seeded 3/4/5-relation chains, each link generated with the Section 3.3.1
+join-column machinery (uniform and Zipf duplicate distributions, heavy
+hitters correlated across consecutive links).  Every query is written in
+the worst order — largest relation first, the selective predicate on the
+last table — so the written fold pays the full intermediate explosion
+while the cost-based orderer starts from the filtered end and keeps the
+build sides small.
+
+Reported per chain: total Section-3.1 op counts and wall-clock for both
+modes, plus their ratio.  The result rows are asserted bit-identical
+between modes, and (for the batch engine) the cost-ordered counter
+totals are asserted exactly equal across worker counts.
+"""
+
+from __future__ import annotations
+
+try:
+    from benchmarks.harness import (
+        SeriesCollector,
+        bench_rng,
+        configure_engine,
+        measure,
+        scaled,
+    )
+except ImportError:  # pragma: no cover - direct execution
+    from harness import (
+        SeriesCollector,
+        bench_rng,
+        configure_engine,
+        measure,
+        scaled,
+    )
+
+from repro.engine.database import MainMemoryDatabase
+from repro.workloads.distributions import UNIFORM, ZipfDistribution
+from repro.workloads.generator import RelationSpec, build_fk_chain
+
+#: Chain cardinalities, largest first (written order starts at the
+#: largest).  Scaled to one tenth by default, REPRO_FULL restores them.
+CHAINS = {
+    3: [scaled(12_000), scaled(8_000), scaled(4_000)],
+    4: [scaled(15_000), scaled(10_000), scaled(6_000), scaled(3_000)],
+    5: [
+        scaled(15_000),
+        scaled(10_000),
+        scaled(7_000),
+        scaled(4_000),
+        scaled(2_500),
+    ],
+}
+
+#: Duplicate percentage on every join column.
+DUP_PERCENT = 30.0
+
+#: Selectivity of the predicate on the last table (``val = 7``).
+VAL_MODULUS = 50
+
+DISTRIBUTIONS = (("uniform", UNIFORM), ("zipf", ZipfDistribution(1.1)))
+
+
+def _build_chain_db(sizes, distribution) -> MainMemoryDatabase:
+    """One database holding the chain tables T0..Tn-1.
+
+    Column names are unique per table (``p2``/``n2``/``v2`` on T2) so
+    the chain mirrors a real schema where link fields don't collide.
+    """
+    rng = bench_rng()
+    db = configure_engine(MainMemoryDatabase())
+    specs = [
+        RelationSpec(size, DUP_PERCENT, distribution) for size in sizes
+    ]
+    chain = build_fk_chain(specs, 100.0, rng)
+    for i, size in enumerate(sizes):
+        columns = [f"k{i} INT", f"v{i} INT"]
+        if "prev" in chain.columns[i]:
+            columns.append(f"p{i} INT")
+        if "next" in chain.columns[i]:
+            columns.append(f"n{i} INT")
+        db.sql(
+            f"CREATE TABLE T{i} ({', '.join(columns)}, PRIMARY KEY (k{i}))"
+        )
+        prev = chain.columns[i].get("prev")
+        nxt = chain.columns[i].get("next")
+        for r in range(size):
+            row = [r, r % VAL_MODULUS]
+            if prev is not None:
+                row.append(prev[r])
+            if nxt is not None:
+                row.append(nxt[r])
+            db.insert(f"T{i}", row)
+    return db
+
+
+def _chain_query(n: int) -> str:
+    """The written-order query: largest table first, filter on the last."""
+    joins = " ".join(
+        f"JOIN T{i} ON n{i - 1} = T{i}.p{i}" for i in range(1, n)
+    )
+    return f"SELECT * FROM T0 {joins} WHERE v{n - 1} = 7"
+
+
+def _sorted_rows(result):
+    return sorted(result.materialize(resolve_refs=True))
+
+
+def run_joinorder_benchmark():
+    """(series, summary) comparing written vs. cost-ordered chains."""
+    series = SeriesCollector(
+        "Multi-join ordering: written vs. cost-ordered chains "
+        f"(dup={DUP_PERCENT:g}%, filter 1/{VAL_MODULUS})",
+        "chain",
+        [
+            "written_ops",
+            "cost_ops",
+            "ops_ratio",
+            "written_weighted",
+            "cost_weighted",
+            "written_seconds",
+            "cost_seconds",
+        ],
+    )
+    summary = {}
+    for length, sizes in sorted(CHAINS.items()):
+        for dist_label, distribution in DISTRIBUTIONS:
+            db = _build_chain_db(sizes, distribution)
+            query = _chain_query(length)
+
+            db.configure_optimizer(join_ordering="written")
+            written_res, written_ops, written_secs = measure(
+                lambda: db.sql(query)
+            )
+            db.configure_optimizer(join_ordering="cost")
+            cost_res, cost_ops, cost_secs = measure(lambda: db.sql(query))
+
+            written_rows = _sorted_rows(written_res)
+            if written_rows != _sorted_rows(cost_res):
+                raise AssertionError(
+                    f"ordering changed the result rows for {length}-chain "
+                    f"({dist_label})"
+                )
+            label = f"{length}-{dist_label}"
+            ratio = written_ops.total() / max(1, cost_ops.total())
+            series.add(
+                label,
+                written_ops=written_ops.total(),
+                cost_ops=cost_ops.total(),
+                ops_ratio=round(ratio, 2),
+                written_weighted=round(written_ops.weighted_cost()),
+                cost_weighted=round(cost_ops.weighted_cost()),
+                written_seconds=written_secs,
+                cost_seconds=cost_secs,
+            )
+            summary[label] = {
+                "rows": len(written_rows),
+                "ops_ratio": round(ratio, 2),
+                "written_counters": written_ops.as_dict(),
+                "cost_counters": cost_ops.as_dict(),
+            }
+    return series, summary
+
+
+def worker_counter_parity(length: int = 4, workers=(1, 2)) -> dict:
+    """Cost-ordered chain on the batch engine: rows and the five counter
+    totals must match exactly at every worker count."""
+    sizes = CHAINS[length]
+    query = _chain_query(length)
+    reference = None
+    for count in workers:
+        db = _build_chain_db(sizes, ZipfDistribution(1.1))
+        db.configure_optimizer(join_ordering="cost")
+        db.configure_execution(
+            engine="batch",
+            workers=count,
+            pool="inline" if count > 1 else None,
+        )
+        try:
+            result, ops, __ = measure(lambda: db.sql(query))
+            snapshot = (_sorted_rows(result), ops.as_dict())
+        finally:
+            db.configure_execution()
+        if reference is None:
+            reference = snapshot
+        elif snapshot != reference:
+            raise AssertionError(
+                f"worker count {count} changed rows or counters"
+            )
+    return {"workers": list(workers), "counters": reference[1]}
+
+
+def test_joinorder_speedup():
+    series, summary = run_joinorder_benchmark()
+    parity = worker_counter_parity()
+    summary["worker_parity"] = parity
+    series.publish("joinorder", extra=summary)
+    for label, entry in summary.items():
+        if label == "worker_parity":
+            continue
+        print(f"{label}: {entry['ops_ratio']}x fewer total ops")
+    # Acceptance: >= 2x total-op reduction on the skewed 4+ chains.
+    for label in ("4-zipf", "5-zipf"):
+        assert summary[label]["ops_ratio"] >= 2.0, summary[label]
+
+
+if __name__ == "__main__":
+    test_joinorder_speedup()

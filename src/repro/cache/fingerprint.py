@@ -187,6 +187,13 @@ def plan_relations(plan: PlanNode) -> FrozenSet[str]:
         deps = plan_relations(plan.child)
     else:
         raise FingerprintError(f"uncacheable plan node {type(plan).__name__}")
+    # A cost-ordered plan's shape depends on the statistics of every
+    # relation the orderer looked at; the root records them so staleness
+    # checks cover the full set even if the plan itself were to drop a
+    # scan leaf.
+    extra = getattr(plan, "_repro_extra_relations", None)
+    if extra:
+        deps |= frozenset(extra)
     setattr(plan, _DEPS_ATTR, deps)
     return deps
 

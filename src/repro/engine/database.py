@@ -145,6 +145,13 @@ class MainMemoryDatabase:
                 workers=int(os.environ.get("REPRO_EXEC_WORKERS") or 1),
                 pool=os.environ.get("REPRO_EXEC_POOL") or None,
             )
+        # Optimizer hook: REPRO_JOIN_ORDERING selects the multi-join
+        # ordering mode for every database in the process (CI lanes run
+        # the suite under "cost" this way).  configure_optimizer still
+        # overrides per instance.
+        env_ordering = os.environ.get("REPRO_JOIN_ORDERING")
+        if env_ordering:
+            self.configure_optimizer(join_ordering=env_ordering)
         # Chaos hook: REPRO_FAULTS carries a fault-injection spec (see
         # repro.fault.config) so CI chaos lanes can exercise the
         # degraded paths without code changes.  Explicit
@@ -185,6 +192,33 @@ class MainMemoryDatabase:
             else None
         )
         self.executor.result_cache = self.result_cache
+
+    # ------------------------------------------------------------------ #
+    # optimizer
+    # ------------------------------------------------------------------ #
+
+    def configure_optimizer(self, *, join_ordering: str = None) -> None:
+        """Select how multi-join chains are ordered.
+
+        ``join_ordering="cost"`` re-orders 3+-relation equijoin chains
+        by forecast Section-3.1 op counts (see
+        :meth:`~repro.query.optimizer.Optimizer.plan_join_chain`);
+        ``"written"`` — the default, restored by passing ``None`` —
+        folds the FROM clause exactly as written.  Same opt-in contract
+        as caching and batch execution: results are identical in either
+        mode, only the plan changes.
+        """
+        from repro.errors import ConfigError
+        from repro.query.optimizer import JOIN_ORDERINGS
+
+        if join_ordering is None:
+            join_ordering = "written"
+        if join_ordering not in JOIN_ORDERINGS:
+            raise ConfigError(
+                f"unknown join_ordering {join_ordering!r}; choose from "
+                f"{JOIN_ORDERINGS}"
+            )
+        self.optimizer.join_ordering = join_ordering
 
     # ------------------------------------------------------------------ #
     # execution engine

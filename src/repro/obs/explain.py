@@ -43,7 +43,13 @@ DEFAULT_SELECTIVITY = 1.0 / 3.0
 def node_label(plan: PlanNode) -> str:
     """One-line description of a plan node (no children, no indent)."""
     if isinstance(plan, JoinNode):
-        return f"Join[{plan.method}] {plan.left_col} {plan.op} {plan.right_col}"
+        order = ""
+        if plan.join_order is not None:
+            order = f"  order={'->'.join(plan.join_order)}"
+        return (
+            f"Join[{plan.method}] {plan.left_col} {plan.op} "
+            f"{plan.right_col}{order}"
+        )
     if isinstance(plan, FilterNode):
         return f"Filter {plan.predicate!r}"
     if isinstance(plan, ProjectNode):
@@ -141,6 +147,11 @@ def _estimate(plan: PlanNode, catalog, optimizer) -> float:
         child = _estimate(plan.child, catalog, optimizer)
         return child * _leaf_selectivity(plan.predicate)
     if isinstance(plan, JoinNode):
+        if plan.est_rows is not None:
+            # The cost-based orderer already estimated this join with
+            # predicate selectivities applied; its figure is stricter
+            # than the structural recursion below.
+            return plan.est_rows
         left = _estimate(plan.left, catalog, optimizer)
         right = _estimate(plan.right, catalog, optimizer)
         if plan.op != "=":
@@ -193,12 +204,28 @@ def render_plan(plan: PlanNode, catalog, optimizer) -> str:
     def emit(node: PlanNode, depth: int) -> None:
         est = estimate_rows(node, catalog, optimizer)
         suffix = "" if est is None else f"  (est_rows={est})"
+        suffix += _forecast_suffix(node)
         lines.append("  " * depth + node_label(node) + suffix)
         for child in node_children(node):
             emit(child, depth + 1)
 
     emit(plan, 0)
     return "\n".join(lines)
+
+
+def _forecast_suffix(node: PlanNode) -> str:
+    """The cost-based orderer's forecast op counts for a join node."""
+    ops = getattr(node, "est_ops", None)
+    if not ops:
+        return ""
+    inner = ", ".join(
+        f"{name}={ops[name]}"
+        for name in (
+            "comparisons", "moves", "hashes", "traversals", "allocations"
+        )
+        if name in ops
+    )
+    return f"  (forecast: {inner})"
 
 
 def _fmt_ms(seconds: float) -> str:
@@ -213,6 +240,19 @@ def _span_annotations(span, catalog, optimizer) -> str:
         parts.append(f"est_rows={'?' if est is None else est}")
     if span.rows_out is not None:
         parts.append(f"actual_rows={span.rows_out}")
+    ops = getattr(node, "est_ops", None) if node is not None else None
+    if ops:
+        # Forecast counts sit next to the actual counters below, so a
+        # bad cardinality estimate shows up as forecast/actual drift.
+        inner = "/".join(
+            str(ops[name])
+            for name in (
+                "comparisons", "moves", "hashes", "traversals",
+                "allocations",
+            )
+            if name in ops
+        )
+        parts.append(f"forecast_ops={inner}")
     counts = span.counters
     parts.append(f"comparisons={counts.comparisons}")
     parts.append(f"moves={counts.moves}")

@@ -155,6 +155,15 @@ class JoinNode(PlanNode):
     right_col: str
     method: str = "hash"
     op: str = "="
+    #: Cost-based-optimizer annotations, surfaced by EXPLAIN: estimated
+    #: output cardinality, forecast Section-3.1 op counts for this join
+    #: step, and (on a chain's top join) the chosen table order.  Never
+    #: part of plan identity, fingerprints, or execution semantics.
+    est_rows: Optional[float] = field(default=None, compare=False, repr=False)
+    est_ops: Optional[dict] = field(default=None, compare=False, repr=False)
+    join_order: Optional[Tuple[str, ...]] = field(
+        default=None, compare=False, repr=False
+    )
 
     _VALID_OPS = ("=", "!=", "<", "<=", ">", ">=")
 

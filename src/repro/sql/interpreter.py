@@ -136,6 +136,11 @@ class SQLInterpreter:
             plan_cache is not None or self.db.result_cache is not None
         ):
             plan_key = ("sql", key if key is not None else normalize_sql(text))
+            # Ordering modes plan the same SQL differently; keep their
+            # cached plans and results apart.
+            mode = getattr(self.db.optimizer, "join_ordering", "written")
+            if mode != "written":
+                plan_key = plan_key + (mode,)
         return self.run_statement(statement, plan_key)
 
     def run_statement(self, statement, plan_key=None):
@@ -499,9 +504,170 @@ class SQLInterpreter:
     def _run_join_chain(self, stmt: ast.Select) -> TemporaryList:
         return self.db.executor.execute(self._join_chain_plan(stmt))
 
+    def _chain_edges(self, stmt: ast.Select, tables: Sequence[str]):
+        """The join graph of a chain SELECT as optimizer edges.
+
+        Returns ``None`` whenever any clause falls outside what the
+        cost-based orderer can re-order safely: explicit ``USING``
+        overrides, non-equijoins, duplicate table names (self-joins),
+        foreign-key fields compared by value, or reverse foreign-key
+        edges (the pointer lives on the new table's side, so the join is
+        only expressible with the pointer owner already in the prefix).
+        """
+        from repro.query.optimizer import JoinChainEdge
+
+        if len(set(tables)) != len(tables):
+            return None
+        edges = []
+        prev: List[str] = [stmt.table]
+        for position, clause in enumerate(stmt.joins):
+            if clause.op != "=" or clause.method is not None:
+                return None
+            try:
+                owner, field = self._owner_table(clause.left, prev)
+            except (QueryError, SchemaError):
+                return None
+            right = clause.right
+            if "." in right:
+                qualifier, bare = right.rsplit(".", 1)
+                if qualifier != clause.table:
+                    return None
+                right = bare
+            target = self.db.relation(clause.table)
+            if right not in target.schema.names:
+                return None
+            logical = self.db.relation(owner).schema.field(field)
+            if logical.references is not None:
+                if (
+                    logical.references.relation == clause.table
+                    and logical.references.field == right
+                ):
+                    kind = "fk"
+                else:
+                    # A REF field compared against an unrelated column:
+                    # the stored value is a pointer, keep the written
+                    # plan's exact semantics.
+                    return None
+            elif target.schema.field(right).references is not None:
+                # Reverse-FK: the pointer sits on the new table's side.
+                return None
+            else:
+                kind = "value"
+            edges.append(
+                JoinChainEdge(owner, field, clause.table, right, kind, position)
+            )
+            prev.append(clause.table)
+        return edges
+
+    def _cost_ordered_plan(self, stmt: ast.Select):
+        """Cost-ordered plan for a multi-join chain, or ``None``.
+
+        ``None`` means the statement is outside the orderer's safe
+        subset and the caller must fold the written order instead.
+        Safety here is observational: the reordered plan must produce
+        the same rows under the same output labels as the written one.
+        """
+        from repro.query.executor import plan_descriptor
+        from repro.query.optimizer import JoinChainQuery
+        from repro.query.plan import FilterNode, ProjectNode
+        from repro.storage.temporary import ResultDescriptor
+
+        tables = [stmt.table] + [clause.table for clause in stmt.joins]
+        if len(tables) < 3:
+            return None
+        edges = self._chain_edges(stmt, tables)
+        if edges is None:
+            return None
+        # A field name owned by 3+ joined tables keeps its bare label on
+        # whichever table enters the fold after the first two collide —
+        # an order-dependent binding.  Qualified references and 2-owner
+        # collisions are invariant (pairwise qualification), so only a
+        # *bare* reference to such a name forces the written order.
+        owners_per_name: dict = {}
+        for t in tables:
+            for name in self.db.relation(t).schema.names:
+                owners_per_name[name] = owners_per_name.get(name, 0) + 1
+        shared = {n for n, c in owners_per_name.items() if c >= 3}
+        if shared:
+            referenced = list(stmt.columns) + list(stmt.group_by or ())
+            referenced += [call.column for call in stmt.aggregates]
+            if stmt.order_by is not None:
+                referenced.append(stmt.order_by)
+            if any(
+                name and "." not in name and name in shared
+                for name in referenced
+            ):
+                return None
+        per_table = {t: [] for t in tables}
+        residual: List[Predicate] = []
+        try:
+            for cond in stmt.conditions:
+                leaves = _tree_leaves(cond)
+                owners = {
+                    self._owner_table(leaf.column, tables)[0]
+                    for leaf in leaves
+                }
+                if len(owners) == 1:
+                    (owner,) = owners
+                    per_table[owner].append(self._bare_tree(cond, tables))
+                else:
+                    residual.append(self._residual_predicate(cond, tables))
+        except (QueryError, SchemaError):
+            return None  # the written path raises the user-facing error
+        predicates = {
+            t: self.db._rewrite_fk_predicate(
+                t, _conditions_to_predicate(per_table[t])
+            )
+            for t in tables
+        }
+        query = JoinChainQuery(tuple(tables), predicates, tuple(edges))
+        plan = self.db.optimizer.plan_join_chain(query)
+        if plan is None:
+            return None
+        if residual:
+            predicate = (
+                residual[0]
+                if len(residual) == 1
+                else Conjunction(tuple(residual))
+            )
+            plan = FilterNode(plan, predicate)
+        if not stmt.columns and not stmt.aggregates:
+            # SELECT *: the reordered chain must show the written chain's
+            # column labels in the written order, with every label bound
+            # to the same (relation, field).  Simulate both descriptor
+            # folds; bail out on any binding drift, re-project when only
+            # the column order differs.
+            from repro.query.executor import join_descriptor
+
+            written = ResultDescriptor.whole_relation(
+                self.db.relation(tables[0])
+            )
+            for t in tables[1:]:
+                written = join_descriptor(
+                    written,
+                    ResultDescriptor.whole_relation(self.db.relation(t)),
+                )
+            chosen = plan_descriptor(plan, self.db.catalog)
+
+            def bindings(desc):
+                return {
+                    col.name: (desc.sources[col.source].name, col.field)
+                    for col in desc.columns
+                }
+
+            if bindings(written) != bindings(chosen):
+                return None
+            if written.column_names != chosen.column_names:
+                plan = ProjectNode(plan, written.column_names)
+        return plan
+
     def _join_chain_plan(self, stmt: ast.Select):
         from repro.query.plan import FilterNode, JoinNode, ScanNode
 
+        if getattr(self.db.optimizer, "join_ordering", "written") == "cost":
+            plan = self._cost_ordered_plan(stmt)
+            if plan is not None:
+                return plan
         tables = [stmt.table] + [clause.table for clause in stmt.joins]
         base_conditions: List = []
         residual: List[Predicate] = []

@@ -230,6 +230,11 @@ class PreparedStatement:
                 pass  # unhashable binding: run uncached
             else:
                 plan_key = ("prepared", normalize_sql(self.text), values)
+                mode = getattr(
+                    self.db.optimizer, "join_ordering", "written"
+                )
+                if mode != "written":
+                    plan_key = plan_key + (mode,)
         return interpreter.run_statement(bound, plan_key)
 
     def explain(self, *values: Any) -> str:

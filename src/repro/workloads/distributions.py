@@ -65,6 +65,58 @@ MODERATE = DuplicateDistribution(MODERATE_SIGMA)
 NEAR_UNIFORM = DuplicateDistribution(NEAR_UNIFORM_SIGMA)
 
 
+class ZipfDistribution(DuplicateDistribution):
+    """Zipf-ish duplicate spread: value at rank ``r`` draws occurrences
+    proportional to ``1 / r**s``.
+
+    Real foreign-key columns follow power laws far heavier-tailed than
+    the paper's truncated normal — the workload shape under which join
+    *ordering* (not just join-method choice) decides the op count,
+    because a mid-chain join through a heavy hitter explodes the
+    intermediate result.  Apportionment is deterministic (largest
+    remainder over the exact weights, heaviest rank first, every value
+    at least once), so benchmark tables are reproducible from the seed
+    alone.
+    """
+
+    def __init__(self, s: float = 1.0) -> None:
+        if s <= 0:
+            raise ValueError("zipf exponent s must be positive")
+        # Deliberately skip the parent __init__: sigma is meaningless
+        # here, but isinstance checks and the counts() contract hold.
+        self.sigma = None
+        self.s = s
+
+    @property
+    def label(self) -> str:
+        return f"zipf(s={self.s:g})"
+
+    def counts(
+        self, unique_count: int, total: int, rng: random.Random
+    ) -> List[int]:
+        if unique_count < 1:
+            raise ValueError("need at least one unique value")
+        if total < unique_count:
+            raise ValueError(
+                f"total ({total}) must be >= unique_count ({unique_count})"
+            )
+        weights = [1.0 / (rank ** self.s) for rank in range(1, unique_count + 1)]
+        scale = sum(weights)
+        remaining = total - unique_count  # one occurrence is guaranteed
+        shares = [w / scale * remaining for w in weights]
+        counts = [1 + int(share) for share in shares]
+        leftover = total - sum(counts)
+        # Largest-remainder apportionment; rank breaks ties so the
+        # result is independent of float ordering quirks.
+        by_remainder = sorted(
+            range(unique_count),
+            key=lambda i: (-(shares[i] - int(shares[i])), i),
+        )
+        for i in by_remainder[:leftover]:
+            counts[i] += 1
+        return counts
+
+
 def _truncated_half_normal(sigma: float, rng: random.Random) -> float:
     """One draw from |N(0, sigma)| truncated (by rejection) to [0, 1)."""
     while True:

@@ -160,6 +160,51 @@ def build_join_pair(
     )
 
 
+@dataclass
+class ChainWorkload:
+    """Generated join columns for an n-relation chain.
+
+    ``columns[i]`` holds table i's link columns: ``"prev"`` joins against
+    table i-1's ``"next"`` (both absent at the respective chain ends).
+    ``pairs[i]`` is the :class:`JoinPair` ground truth for the link
+    between tables i and i+1.
+    """
+
+    columns: List[dict]
+    pairs: List[JoinPair]
+
+
+def build_fk_chain(
+    specs: Sequence[RelationSpec],
+    semijoin_selectivity: float,
+    rng: random.Random,
+    key_space: int = None,
+) -> ChainWorkload:
+    """Join columns for a chain ``T0 ⋈ T1 ⋈ ... ⋈ Tn-1``.
+
+    Each adjacent pair is generated with :func:`build_join_pair` —
+    table i's ``"next"`` column is the pair's outer side, table i+1's
+    ``"prev"`` column its inner side — so per-link duplicate
+    distributions and semijoin selectivity carry through exactly as in
+    the two-relation tests.  With a skewed (e.g. Zipf) distribution on
+    the specs, heavy hitters correlate across consecutive links: the
+    multi-join workload where a bad join order explodes the
+    intermediate results (the cost-based orderer's target case).
+    """
+    if len(specs) < 2:
+        raise ValueError("a chain needs at least two relation specs")
+    columns: List[dict] = [{} for __ in specs]
+    pairs: List[JoinPair] = []
+    for i in range(len(specs) - 1):
+        pair = build_join_pair(
+            specs[i], specs[i + 1], semijoin_selectivity, rng, key_space
+        )
+        columns[i]["next"] = pair.outer
+        columns[i + 1]["prev"] = pair.inner
+        pairs.append(pair)
+    return ChainWorkload(columns, pairs)
+
+
 def query_mix_operations(
     keys: Sequence[int],
     operations: int,

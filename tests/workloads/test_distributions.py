@@ -115,3 +115,46 @@ class TestDistributionClass:
         dist = DuplicateDistribution(0.4)
         counts = dist.counts(10, 100, rng)
         assert sum(counts) == 100
+
+
+class TestZipfDistribution:
+    def test_counts_sum_and_floor(self, rng):
+        from repro.workloads.distributions import ZipfDistribution
+
+        counts = ZipfDistribution(1.0).counts(100, 1000, rng)
+        assert len(counts) == 100
+        assert sum(counts) == 1000
+        assert min(counts) >= 1
+
+    def test_heaviest_first_and_monotonic(self, rng):
+        from repro.workloads.distributions import ZipfDistribution
+
+        counts = ZipfDistribution(1.0).counts(50, 5000, rng)
+        assert counts[0] == max(counts)
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_larger_exponent_is_more_skewed(self, rng):
+        from repro.workloads.distributions import ZipfDistribution
+
+        mild = ZipfDistribution(0.5).counts(100, 10_000, rng)
+        steep = ZipfDistribution(2.0).counts(100, 10_000, rng)
+        assert steep[0] > mild[0]
+
+    def test_deterministic_without_consuming_rng(self):
+        from repro.workloads.distributions import ZipfDistribution
+
+        rng = random.Random(42)
+        before = rng.getstate()
+        a = ZipfDistribution(1.1).counts(64, 640, rng)
+        assert rng.getstate() == before  # apportionment is exact
+        b = ZipfDistribution(1.1).counts(64, 640, random.Random(7))
+        assert a == b
+
+    def test_label_and_validation(self):
+        from repro.workloads.distributions import ZipfDistribution
+
+        assert ZipfDistribution(1.5).label == "zipf(s=1.5)"
+        with pytest.raises(ValueError):
+            ZipfDistribution(0.0)
+        with pytest.raises(ValueError):
+            ZipfDistribution(1.0).counts(10, 5, random.Random(1))

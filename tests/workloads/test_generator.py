@@ -149,3 +149,60 @@ class TestQueryMix:
         a = list(query_mix_operations(keys, 500, 60, 20, 20, random.Random(3)))
         b = list(query_mix_operations(keys, 500, 60, 20, 20, random.Random(3)))
         assert a == b
+
+
+class TestBuildFkChain:
+    def _specs(self, distribution=None):
+        from repro.workloads.distributions import UNIFORM
+
+        dist = distribution if distribution is not None else UNIFORM
+        return [
+            RelationSpec(400, 30.0, dist),
+            RelationSpec(200, 30.0, dist),
+            RelationSpec(100, 30.0, dist),
+        ]
+
+    def test_column_shapes(self, rng):
+        from repro.workloads.generator import build_fk_chain
+
+        chain = build_fk_chain(self._specs(), 100.0, rng)
+        assert len(chain.columns) == 3
+        assert len(chain.pairs) == 2
+        assert "prev" not in chain.columns[0]
+        assert "next" not in chain.columns[-1]
+        assert len(chain.columns[0]["next"]) == 400
+        assert len(chain.columns[1]["prev"]) == 200
+        assert len(chain.columns[1]["next"]) == 200
+        assert len(chain.columns[2]["prev"]) == 100
+
+    def test_full_selectivity_links_every_inner_value(self, rng):
+        from repro.workloads.generator import build_fk_chain
+
+        chain = build_fk_chain(self._specs(), 100.0, rng)
+        for i, pair in enumerate(chain.pairs):
+            outer_values = set(chain.columns[i]["next"])
+            inner_values = set(chain.columns[i + 1]["prev"])
+            assert inner_values <= outer_values
+            assert pair.expected_result_size() > 0
+
+    def test_zipf_chain_correlates_heavy_hitters(self, rng):
+        from collections import Counter
+
+        from repro.workloads.distributions import ZipfDistribution
+        from repro.workloads.generator import build_fk_chain
+
+        chain = build_fk_chain(
+            self._specs(ZipfDistribution(1.2)), 100.0, rng
+        )
+        outer = Counter(chain.columns[0]["next"])
+        inner = Counter(chain.columns[1]["prev"])
+        heavy_outer = max(outer, key=outer.get)
+        # The outer's heaviest value must also be heavily duplicated on
+        # the inner side (the Test 4 artefact the bench relies on).
+        assert inner[heavy_outer] > 1
+
+    def test_chain_needs_two_specs(self, rng):
+        from repro.workloads.generator import build_fk_chain
+
+        with pytest.raises(ValueError):
+            build_fk_chain([RelationSpec(10)], 100.0, rng)
