@@ -103,8 +103,14 @@ def _counters_key(snapshot) -> dict:
 
 
 def run_query_mix(db, plans, series):
-    """Time the mix per worker count; return {workers: best seconds}."""
+    """Time the mix per worker count.
+
+    Returns ``(best_seconds, latencies)`` where ``latencies`` maps a
+    ``workers=N`` label to every timed round's wall-clock, feeding the
+    harness's embedded p50/p95/p99 summaries.
+    """
     seconds = {}
+    latencies = {}
     reference_counts = None
     reference_rows = None
     for workers in WORKER_SWEEP:
@@ -130,8 +136,10 @@ def run_query_mix(db, plans, series):
             )
         best = None
         snap = None
+        samples = latencies.setdefault(f"workers={workers}", [])
         for _ in range(TIMING_ROUNDS):
             _, counters, elapsed = measure(lambda: run_mix(db, plans))
+            samples.append(elapsed)
             if best is None or elapsed < best:
                 best, snap = elapsed, counters
         seconds[workers] = best
@@ -145,7 +153,7 @@ def run_query_mix(db, plans, series):
             hashes=snap.hashes,
         )
     configure_engine(db, engine="tuple")
-    return seconds
+    return seconds, latencies
 
 
 def run_index_build(db, series):
@@ -200,7 +208,7 @@ def main() -> None:
             "hashes",
         ],
     )
-    seconds = run_query_mix(db, plans, series)
+    seconds, latencies = run_query_mix(db, plans, series)
 
     build_series = SeriesCollector(
         f"Parallel T-Tree index build, |Orders|={N_OUTER}",
@@ -232,6 +240,7 @@ def main() -> None:
             },
         },
         config={"engine": "batch", "workers": list(WORKER_SWEEP)},
+        latencies=latencies,
     )
     print(
         f"speedups vs workers={WORKER_SWEEP[0]}: {speedups} "

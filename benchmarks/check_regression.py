@@ -29,9 +29,14 @@ import sys
 from typing import Any, Dict, Iterator, List, Tuple
 
 #: Column/value names that carry wall-clock (or derived-from-wall-clock)
-#: measurements — reported, never gating.
+#: measurements — reported, never gating.  Percentile/quantile fields
+#: (the harness's embedded p50/p95/p99 latency summaries) are wall-clock
+#: derived too; the top-level ``percentiles`` document key is never
+#: flattened, but per-point columns could carry the same names.
 _WALL_CLOCK = re.compile(
-    r"(seconds|_ns$|^ns_|time|wall|speedup|ratio)", re.IGNORECASE
+    r"(seconds|_ns$|^ns_|time|wall|speedup|ratio"
+    r"|(^|_)p\d+(_\d+)?($|_)|percentile|quantile)",
+    re.IGNORECASE,
 )
 
 #: Counts below this floor are ignored: tiny absolute values make the

@@ -152,6 +152,37 @@ def measure(func: Callable[[], Any]) -> Tuple[Any, OpCounters, float]:
     return result, counters.snapshot(), elapsed
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """Exact sample quantile (nearest-rank with linear interpolation).
+
+    Benchmarks hold every observed latency in memory, so unlike the
+    engine's fixed-bucket histograms the embedded p50/p95/p99 here are
+    exact over the sample.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
+def latency_percentiles(
+    values: Sequence[float], qs: Sequence[float] = (0.5, 0.95, 0.99)
+) -> Dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` over one latency sample."""
+    out: Dict[str, float] = {}
+    for q in qs:
+        label = f"{q * 100:g}".replace(".", "_")
+        out[f"p{label}"] = percentile(values, q)
+    return out
+
+
 def format_table(
     title: str,
     x_label: str,
@@ -248,6 +279,7 @@ class SeriesCollector:
         extra: Dict[str, Any] = None,
         spans: List[Dict[str, Any]] = None,
         config: Dict[str, Any] = None,
+        latencies: Dict[str, Sequence[float]] = None,
     ) -> None:
         """Print the table and save it under benchmarks/results/.
 
@@ -260,7 +292,11 @@ class SeriesCollector:
         a per-operator breakdown in the document.  ``config`` overrides
         the recorded engine/worker configuration (defaults to this run's
         ``--engine``/``--workers`` selection); the regression gate only
-        compares documents whose configurations match.
+        compares documents whose configurations match.  ``latencies``
+        maps a series label to its raw wall-clock sample; each sample is
+        embedded as exact p50/p95/p99 under the document's
+        ``percentiles`` key (wall-clock, so informational only — the
+        regression gate ignores it).
         """
         text = self.render()
         print()
@@ -268,7 +304,7 @@ class SeriesCollector:
         print()
         save_result(name, text)
         if JSON_MODE:
-            save_result_json(name, self, extra, spans, config)
+            save_result_json(name, self, extra, spans, config, latencies)
 
 
 def save_result(name: str, text: str) -> str:
@@ -292,6 +328,7 @@ def save_result_json(
     extra: Dict[str, Any] = None,
     spans: List[Dict[str, Any]] = None,
     config: Dict[str, Any] = None,
+    latencies: Dict[str, Sequence[float]] = None,
 ) -> str:
     """Write ``benchmarks/results/BENCH_<name>.json``.
 
@@ -300,7 +337,9 @@ def save_result_json(
     series was measured under (so the regression gate never compares
     baselines from different configurations), wall-clock/timestamp
     metadata, and whatever the caller adds under ``extra``.  ``spans``
-    embeds a per-operator span breakdown (see :func:`serialize_spans`).
+    embeds a per-operator span breakdown (see :func:`serialize_spans`);
+    ``latencies`` embeds exact per-series p50/p95/p99 under
+    ``percentiles``.
     """
     results_dir = os.path.join(os.path.dirname(__file__), "results")
     os.makedirs(results_dir, exist_ok=True)
@@ -322,6 +361,14 @@ def save_result_json(
         document["extra"] = extra
     if spans:
         document["spans"] = spans
+    if latencies:
+        document["percentiles"] = {
+            label: dict(
+                latency_percentiles(sample), count=len(sample)
+            )
+            for label, sample in latencies.items()
+            if sample
+        }
     with open(path, "w") as handle:
         json.dump(document, handle, indent=2, default=str)
         handle.write("\n")

@@ -159,6 +159,13 @@ class MainMemoryDatabase:
         env_faults = os.environ.get("REPRO_FAULTS")
         if env_faults:
             self.configure_faults(spec=env_faults)
+        # Observability hook: REPRO_OBS=1 enables the default tracing +
+        # metrics + flight-recorder stack for every database in the
+        # process (the obs-enabled CI smoke lane uses this).  Explicit
+        # configure_observability calls still override.
+        env_obs = os.environ.get("REPRO_OBS")
+        if env_obs and env_obs not in ("0", "false", "off"):
+            self.configure_observability()
         if cache is not None:
             self.configure_cache(cache)
         # The transaction id used for log records when no transaction is
@@ -303,7 +310,20 @@ class MainMemoryDatabase:
             self.executor = Executor(self.catalog, self.result_cache)
         self._retire_executor(previous)
         self.execution_config = config
+        self._sync_observability_context()
         return self.executor
+
+    def _sync_observability_context(self) -> None:
+        """Keep the flight recorder's engine/worker stamp current."""
+        if self.observability is None:
+            return
+        config = self.execution_config
+        self.observability.context["engine"] = (
+            config.engine if config is not None else "tuple"
+        )
+        self.observability.context["workers"] = (
+            config.workers if config is not None else 1
+        )
 
     def _retire_executor(self, executor) -> None:
         """Release a replaced executor's pool and scheduler slot."""
@@ -350,8 +370,39 @@ class MainMemoryDatabase:
             self.observability = None
             return None
         self.observability = Observability(config)
+        self._sync_observability_context()
         obs_runtime.activate(self.observability)
         return self.observability
+
+    def flight_records(self):
+        """The flight recorder's retained per-statement records, oldest
+        first ([] when the recorder — or observability — is off)."""
+        obs = self.observability
+        if obs is None or obs.recorder is None:
+            return []
+        return obs.recorder.recent()
+
+    def scheduler_stats(self) -> Optional[Dict[str, Any]]:
+        """The parallel scheduler's run counters plus per-worker
+        telemetry, or None when the scalar engine is configured."""
+        scheduler = getattr(self.executor, "scheduler", None)
+        if scheduler is None:
+            return None
+        stats: Dict[str, Any] = dict(scheduler.stats)
+        stats["workers"] = {
+            pid: dict(per) for pid, per in scheduler.worker_stats.items()
+        }
+        return stats
+
+    def observability_report(self, top: int = 10) -> str:
+        """The plain-text hotspot report (see :mod:`repro.obs.report`)."""
+        if self.observability is None:
+            return "Observability is not configured.\n"
+        from repro.obs.report import render_report
+
+        return render_report(
+            self.observability, self.scheduler_stats(), top=top
+        )
 
     # ------------------------------------------------------------------ #
     # fault injection

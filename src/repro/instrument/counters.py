@@ -135,6 +135,25 @@ class OpCounters:
         result.update(self.extra)
         return result
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "OpCounters":
+        """Rebuild counters from an :meth:`as_dict` flattening.
+
+        Unknown keys are ``extra`` events (``as_dict`` flattens them into
+        the same namespace), so ``from_dict(c.as_dict())`` round-trips
+        exactly — the contract the worker span transport relies on.
+        """
+        remaining = dict(data)
+        counters = cls(
+            comparisons=int(remaining.pop("comparisons", 0)),
+            moves=int(remaining.pop("moves", 0)),
+            hashes=int(remaining.pop("hashes", 0)),
+            traversals=int(remaining.pop("traversals", 0)),
+            allocations=int(remaining.pop("allocations", 0)),
+        )
+        counters.extra = {name: int(value) for name, value in remaining.items()}
+        return counters
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = ", ".join(f"{k}={v}" for k, v in self.as_dict().items() if v)
         return f"OpCounters({parts})"

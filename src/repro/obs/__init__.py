@@ -14,6 +14,11 @@ lookups — per query — instead of one flat scope per benchmark:
   estimated vs. actual rows;
 * :mod:`repro.obs.core` — the :class:`Observability` facade plus the
   slow-query log;
+* :mod:`repro.obs.recorder` — the flight recorder: a bounded ring of
+  per-statement records with per-fingerprint latency/ops profiles and
+  p50/p95/p99 estimation;
+* :mod:`repro.obs.report` — plain-text hotspot/tail-latency rendering
+  over the recorder and the scheduler's per-worker telemetry;
 * :mod:`repro.obs.runtime` — the process-wide active instance consulted
   by the engine's hooks (all of which are no-ops by default).
 
@@ -31,10 +36,14 @@ from repro.obs.metrics import (
     MetricFamily,
     MetricsRegistry,
 )
+from repro.obs.recorder import FlightRecord, FlightRecorder, StatementProfile
+from repro.obs.report import render_report
 from repro.obs.span import Span, SpanTracer
 
 __all__ = [
     "Counter",
+    "FlightRecord",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricFamily",
@@ -44,4 +53,6 @@ __all__ = [
     "SlowQueryEntry",
     "Span",
     "SpanTracer",
+    "StatementProfile",
+    "render_report",
 ]

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.errors import ConfigError
+
 #: Wall-clock histogram buckets for query latency, in seconds.  Python
 #: constant factors put even point lookups in the 10us-1ms range, so the
 #: buckets sweep 100us .. 10s.
@@ -28,6 +30,14 @@ DEFAULT_OPS_BUCKETS: Tuple[float, ...] = (
     10_000, 25_000, 50_000, 100_000, 500_000, 1_000_000,
 )
 
+#: Wall-clock buckets for one worker morsel, in seconds.  Morsels are
+#: sized to roughly 10ms of predicate/probe work (see
+#: ``DEFAULT_MORSEL_SIZE``), so the buckets sweep 250us .. 2.5s.
+DEFAULT_WORKER_MORSEL_BUCKETS: Tuple[float, ...] = (
+    0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
 
 @dataclass
 class ObservabilityConfig:
@@ -37,19 +47,71 @@ class ObservabilityConfig:
     tracing: bool = True
     #: Maintain the process-wide metrics registry.
     metrics: bool = True
-    #: Total-ops threshold above which a statement lands in the slow-query
-    #: log; ``None`` disables the slow log entirely.
+    #: Total-ops threshold at or above which a statement lands in the
+    #: slow-query log; ``None`` disables the ops trigger.
     slow_query_ops: Optional[int] = 10_000
+    #: Wall-clock threshold (seconds) at or above which a statement lands
+    #: in the slow-query log, independently of the ops trigger; ``None``
+    #: (the default) disables the wall-clock trigger.  The ops threshold
+    #: is the machine-independent trigger; this one catches statements
+    #: that are slow for physical reasons the op counts cannot see
+    #: (pool round-trips, injected latency faults, cold caches).
+    slow_query_seconds: Optional[float] = None
     #: How many completed root spans (recent queries) the tracer retains.
     max_recent_spans: int = 32
     #: How many slow-query entries are retained (oldest evicted first).
     max_slow_queries: int = 128
+    #: Keep a bounded ring of per-statement flight records plus
+    #: per-fingerprint latency/ops histograms (requires ``metrics``).
+    flight_recorder: bool = True
+    #: How many flight records the ring retains (oldest evicted first).
+    max_flight_records: int = 256
     #: Query latency histogram buckets (seconds).
     latency_buckets: Tuple[float, ...] = field(
         default=DEFAULT_LATENCY_BUCKETS
     )
     #: Ops-per-query histogram buckets (operation counts).
     ops_buckets: Tuple[float, ...] = field(default=DEFAULT_OPS_BUCKETS)
+    #: Per-worker morsel wall-clock histogram buckets (seconds).
+    worker_morsel_buckets: Tuple[float, ...] = field(
+        default=DEFAULT_WORKER_MORSEL_BUCKETS
+    )
+
+    def __post_init__(self) -> None:
+        if self.slow_query_ops is not None and (
+            not isinstance(self.slow_query_ops, int)
+            or isinstance(self.slow_query_ops, bool)
+            or self.slow_query_ops < 0
+        ):
+            raise ConfigError(
+                f"slow_query_ops must be a non-negative integer or None, "
+                f"got {self.slow_query_ops!r}"
+            )
+        if self.slow_query_seconds is not None and (
+            not isinstance(self.slow_query_seconds, (int, float))
+            or isinstance(self.slow_query_seconds, bool)
+            or self.slow_query_seconds < 0
+        ):
+            raise ConfigError(
+                f"slow_query_seconds must be a non-negative number or "
+                f"None, got {self.slow_query_seconds!r}"
+            )
+        for name in ("max_recent_spans", "max_slow_queries",
+                     "max_flight_records"):
+            value = getattr(self, name)
+            if (
+                not isinstance(value, int)
+                or isinstance(value, bool)
+                or value < 1
+            ):
+                raise ConfigError(
+                    f"{name} must be a positive integer, got {value!r}"
+                )
+        for name in ("latency_buckets", "ops_buckets",
+                     "worker_morsel_buckets"):
+            buckets = getattr(self, name)
+            if not buckets:
+                raise ConfigError(f"{name} needs at least one bucket bound")
 
     @property
     def enabled(self) -> bool:

@@ -7,10 +7,15 @@ it.  The facade owns:
 
 * a :class:`~repro.obs.span.SpanTracer` (when ``config.tracing``),
 * a :class:`~repro.obs.metrics.MetricsRegistry` (when ``config.metrics``)
-  pre-wired with the standard query metrics, and
-* a bounded slow-query log triggered by a total-ops threshold — the
-  machine-independent analogue of a latency-based slow log, in the same
-  spirit as the paper's Section 3.1 operation-count validation.
+  pre-wired with the standard query metrics,
+* a bounded slow-query log with two independent triggers: the total-ops
+  threshold (the machine-independent analogue of a latency-based slow
+  log, in the same spirit as the paper's Section 3.1 operation-count
+  validation) and an optional wall-clock threshold for slowness the op
+  counts cannot see (pool round-trips, injected latency), and
+* a :class:`~repro.obs.recorder.FlightRecorder` (when
+  ``config.flight_recorder`` with metrics on) retaining per-statement
+  records and per-fingerprint p50/p95/p99 latency profiles.
 """
 
 from __future__ import annotations
@@ -30,12 +35,17 @@ from repro.obs.span import Span, SpanTracer
 
 @dataclass(frozen=True)
 class SlowQueryEntry:
-    """One statement that crossed the total-ops threshold."""
+    """One statement that crossed a slow-query threshold.
+
+    ``trigger`` names which threshold fired: ``"ops"`` (total-ops),
+    ``"time"`` (wall-clock), or ``"ops+time"`` (both).
+    """
 
     sql: str
     total_ops: int
     elapsed: float
     unix_time: float
+    trigger: str = "ops"
 
 
 class Observability:
@@ -52,6 +62,21 @@ class Observability:
             MetricsRegistry() if self.config.metrics else None
         )
         self.slow_queries: deque = deque(maxlen=self.config.max_slow_queries)
+        from repro.obs.recorder import FlightRecorder
+
+        self.recorder: Optional[FlightRecorder] = (
+            FlightRecorder(
+                self.config.max_flight_records,
+                self.config.latency_buckets,
+                self.config.ops_buckets,
+            )
+            if self.config.flight_recorder and self.config.metrics
+            else None
+        )
+        #: The engine/worker configuration statements run under, kept
+        #: current by the owning database (``configure_execution``); the
+        #: flight recorder stamps it into every record.
+        self.context: dict = {"engine": "tuple", "workers": 1}
 
     # ------------------------------------------------------------------ #
     # span plumbing
@@ -115,15 +140,33 @@ class Observability:
                 self.config.ops_buckets,
                 "Machine-independent operations per statement",
             ).observe(total_ops)
-        threshold = self.config.slow_query_ops
-        if threshold is not None and total_ops >= threshold:
+        if self.recorder is not None:
+            self.recorder.record(
+                sql,
+                elapsed,
+                counters,
+                engine=self.context.get("engine", "tuple"),
+                workers=self.context.get("workers", 1),
+            )
+        ops_threshold = self.config.slow_query_ops
+        time_threshold = self.config.slow_query_seconds
+        slow_ops = ops_threshold is not None and total_ops >= ops_threshold
+        slow_time = time_threshold is not None and elapsed >= time_threshold
+        if slow_ops or slow_time:
+            trigger = (
+                "ops+time" if slow_ops and slow_time
+                else ("ops" if slow_ops else "time")
+            )
             self.slow_queries.append(
-                SlowQueryEntry(sql, total_ops, elapsed, time.time())
+                SlowQueryEntry(
+                    sql, total_ops, elapsed, time.time(), trigger
+                )
             )
             if self.metrics is not None:
                 self.metrics.counter(
                     "slow_queries_total",
-                    "Statements at or above the slow-query ops threshold",
+                    "Statements at or above a slow-query threshold",
+                    trigger=trigger,
                 ).inc()
 
     def metric_inc(self, name: str, amount: int = 1, **labels: Any) -> None:

@@ -265,7 +265,10 @@ def _span_annotations(span, catalog, optimizer) -> str:
 
 def render_analyze(root_span, catalog, optimizer) -> str:
     """EXPLAIN ANALYZE output: the executed span tree, each line carrying
-    estimated vs. actual rows and the span's inclusive counters."""
+    estimated vs. actual rows and the span's inclusive counters.  When
+    the parallel engine executed the statement, a per-worker morsel
+    breakdown (aggregated from the grafted worker spans) follows the
+    tree."""
     lines: List[str] = []
 
     def emit(span, depth: int) -> None:
@@ -280,4 +283,34 @@ def render_analyze(root_span, catalog, optimizer) -> str:
             emit(child, depth + 1)
 
     emit(root_span, 0)
+    breakdown = _worker_breakdown(root_span)
+    if breakdown:
+        lines.append("")
+        lines.extend(breakdown)
     return "\n".join(lines)
+
+
+def _worker_breakdown(root_span) -> List[str]:
+    """Per-worker morsel timing aggregated from grafted worker spans."""
+    workers = root_span.find_all("worker")
+    if not workers:
+        return []
+    per_pid: dict = {}
+    for span in workers:
+        pid = span.attrs.get("pid", "?")
+        agg = per_pid.setdefault(
+            pid, {"morsels": 0, "seconds": 0.0, "ops": 0, "queue_wait": 0.0}
+        )
+        agg["morsels"] += 1
+        agg["seconds"] += span.elapsed
+        agg["ops"] += span.total_ops()
+        agg["queue_wait"] += float(span.attrs.get("queue_wait", 0.0))
+    lines = ["Per-worker morsel breakdown:"]
+    for pid in sorted(per_pid, key=str):
+        agg = per_pid[pid]
+        lines.append(
+            f"  worker {pid}: morsels={agg['morsels']}, "
+            f"ops={agg['ops']}, time={_fmt_ms(agg['seconds'])}, "
+            f"queue_wait={_fmt_ms(agg['queue_wait'])}"
+        )
+    return lines

@@ -87,6 +87,43 @@ class Histogram:
         out.append((float("inf"), running + self.bucket_counts[-1]))
         return out
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile (0 <= q <= 1), or None when empty.
+
+        Prometheus-style estimation: find the bucket holding the target
+        rank and interpolate linearly between its bounds (observations
+        are assumed uniform within a bucket).  Observations beyond the
+        last finite bound clamp to that bound — the estimate can only
+        understate a tail that escaped the bucket layout, never invent
+        one.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        running = 0
+        lower = 0.0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            if bucket:
+                before = running
+                running += bucket
+                if running >= target:
+                    inside = max(0.0, target - before)
+                    return lower + (bound - lower) * (inside / bucket)
+            lower = bound
+        return self.bounds[-1]
+
+    def percentiles(
+        self, qs: Sequence[float] = (0.5, 0.95, 0.99)
+    ) -> Dict[str, Optional[float]]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` via :meth:`quantile`."""
+        out: Dict[str, Optional[float]] = {}
+        for q in qs:
+            label = f"{q * 100:g}".replace(".", "_")
+            out[f"p{label}"] = self.quantile(q)
+        return out
+
 
 class MetricFamily:
     """All children of one named metric, keyed by label values."""

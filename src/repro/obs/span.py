@@ -27,7 +27,7 @@ class Span:
 
     name: str
     #: Coarse classification: "query" | "phase" | "operator" | "index"
-    #: | "join_phase" | "cache".
+    #: | "join_phase" | "cache" | "morsel" | "worker".
     kind: str = "phase"
     attrs: Dict[str, Any] = field(default_factory=dict)
     #: Inclusive operation counts (this region plus all child spans).
@@ -98,6 +98,27 @@ class Span:
             "rows_out": self.rows_out,
             "children": [child.to_dict() for child in self.children],
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        """Rebuild a span tree from a :meth:`to_dict` serialisation.
+
+        The inverse the worker→coordinator trace transport needs: a
+        worker ships ``to_dict()`` output (plain picklable data, no live
+        references) and the coordinator grafts ``from_dict()`` of it
+        under the dispatching morsel span.
+        """
+        return cls(
+            name=str(data.get("name", "")),
+            kind=str(data.get("kind", "phase")),
+            attrs=dict(data.get("attrs") or {}),
+            counters=OpCounters.from_dict(data.get("counters") or {}),
+            elapsed=float(data.get("elapsed") or 0.0),
+            rows_out=data.get("rows_out"),
+            children=[
+                cls.from_dict(child) for child in data.get("children") or []
+            ],
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -52,7 +52,7 @@ def _prefetch_keys(relation, field_spec, total: int) -> List[Any]:
                 for start, stop in bounds
             ]
             keys: List[Any] = []
-            for chunk, _counts in scheduler.run("extract_keys", payloads):
+            for chunk, *_rest in scheduler.run("extract_keys", payloads):
                 keys.extend(chunk)
             return keys
     # In-process prefetch (no scheduler, foreign catalog, or one morsel):

@@ -124,16 +124,54 @@ class ParallelBatchExecutor(BatchExecutor):
 
         Each morsel's counts merge under their own ``<op>.morsel`` span
         (a no-op context when tracing is off), so span rollup attributes
-        the worker's operations to the dispatching operator.
+        the worker's operations to the dispatching operator.  Traced
+        results carry a trailing telemetry tuple: its serialized worker
+        span tree is grafted *under* the morsel span (purely structural
+        — the morsel's counters still come exclusively from the
+        ``merge_packed`` rollup, so root totals are untouched), and the
+        morsel span is annotated with the worker pid, queue wait, deref
+        tallies, and any injected-fault events the scheduler recorded —
+        which is how fault annotations survive the worker→coordinator
+        round-trip.
         """
+        last_run = self.scheduler.last_run or {}
         payloads = []
-        for index, (payload, packed) in enumerate(results):
+        for index, item in enumerate(results):
+            payload, packed = item[0], item[1]
+            telemetry = item[2] if len(item) > 2 else None
             with obs_runtime.span(
                 f"{op_name}.morsel", "morsel", index=index
-            ):
+            ) as morsel_span:
                 merge_packed(current_counters(), packed)
+                if morsel_span is not None and telemetry is not None:
+                    self._annotate_morsel(
+                        morsel_span, index, telemetry, last_run
+                    )
             payloads.append(payload)
         return payloads
+
+    @staticmethod
+    def _annotate_morsel(
+        morsel_span, index: int, telemetry: tuple, last_run: dict
+    ) -> None:
+        from repro.obs.span import Span
+
+        pid, _elapsed, queue_wait, hits, misses, span_dict = telemetry
+        morsel_span.attrs["worker_pid"] = pid
+        morsel_span.attrs["queue_wait"] = queue_wait
+        if hits or misses:
+            morsel_span.attrs["deref_hits"] = hits
+            morsel_span.attrs["deref_misses"] = misses
+        faults = (last_run.get("faults") or {}).get(index)
+        if faults:
+            morsel_span.attrs["fault_events"] = list(faults)
+        retries = (last_run.get("retries") or {}).get(index)
+        if retries:
+            morsel_span.attrs["retries"] = retries
+        if index in (last_run.get("quarantined") or ()):
+            morsel_span.attrs["quarantined"] = True
+        if span_dict is not None:
+            morsel_span.children.append(Span.from_dict(span_dict))
 
     def _row_morsels(self, rows: List[Any]) -> List[List[Any]]:
         encoded = encode_rows(rows)

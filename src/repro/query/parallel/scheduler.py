@@ -36,12 +36,18 @@ from __future__ import annotations
 import concurrent.futures
 import itertools
 import multiprocessing
-from typing import Any, Dict, List, Optional, Tuple
+import time
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.errors import InjectedFaultError, PoisonedMorselError
 from repro.fault import runtime as fault_runtime
 from repro.obs import runtime as obs_runtime
 from repro.query.parallel import tasks
+from repro.query.parallel.transport import (
+    TRACE_SPANS,
+    TRACE_TELEMETRY,
+    trace_request,
+)
 from repro.query.vectorized.config import (
     DEFAULT_MORSEL_SIZE,
     DEFAULT_RETRY_ATTEMPTS,
@@ -120,6 +126,18 @@ class MorselScheduler:
             "quarantined_morsels": 0,
             "verified_retries": 0,
         }
+        #: Per-worker telemetry accumulated from traced runs, keyed by
+        #: worker pid: morsels, busy/queue-wait seconds, deref-cache
+        #: hit/miss tallies and hit rate, retried/quarantined morsel
+        #: attribution.  Empty until observability is active (telemetry
+        #: only ships with a trace context — the zero-overhead contract).
+        self.worker_stats: Dict[int, Dict[str, Any]] = {}
+        #: Per-run fault/retry report for the most recent ``run`` call:
+        #: ``{"kind", "faults": {morsel: [actions]}, "retries":
+        #: {morsel: n}, "quarantined": {morsel, ...}}`` — consumed by
+        #: the engine to annotate ``<op>.morsel`` spans so injected
+        #: fault events survive the worker→coordinator round-trip.
+        self.last_run: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------ #
     # pool lifecycle
@@ -222,8 +240,36 @@ class MorselScheduler:
         try:
             action = injector.fire("pool.worker", kind=kind, morsel=index)
         except InjectedFaultError:
+            self._note_fault(index, "error")
             return "error"
+        if action is not None:
+            self._note_fault(index, action)
         return action if action == "kill" else None
+
+    def _note_fault(self, index: int, action: str) -> None:
+        """Record one fired ``pool.worker`` action in the run report."""
+        if self.last_run is not None:
+            self.last_run["faults"].setdefault(index, []).append(action)
+
+    def _note_retry(self, index: int) -> None:
+        """Record one morsel retry in both stats and the run report."""
+        self.stats["morsel_retries"] += 1
+        if self.last_run is not None:
+            retries = self.last_run["retries"]
+            retries[index] = retries.get(index, 0) + 1
+
+    def _trace_mode(self) -> int:
+        """Which trace context (if any) this run's requests carry.
+
+        0 when observability is inactive — requests stay two-element
+        and the whole telemetry path stays untouched, preserving the
+        zero-overhead contract; otherwise telemetry always, spans only
+        when a tracer is live (EXPLAIN ANALYZE, ``tracing=True``).
+        """
+        obs = obs_runtime.active()
+        if obs is None:
+            return 0
+        return TRACE_SPANS if obs.tracer is not None else TRACE_TELEMETRY
 
     # ------------------------------------------------------------------ #
     # dispatch
@@ -236,32 +282,144 @@ class MorselScheduler:
 
         Each element of the returned list is ``(result, packed_counts)``
         exactly as :func:`repro.query.parallel.tasks.run_task` returns
-        it.  Per-morsel failures retry through the pool (re-forking it
-        when it broke) up to the retry budget, then quarantine to one
-        inline re-execution; a broken or unavailable pool degrades the
-        whole run to inline execution of the same tasks — identical
-        results and counts either way.
+        it — plus a trailing telemetry tuple when observability is
+        active (callers unpack the first two elements and pass the rest
+        to the span-grafting merge).  Per-morsel failures retry through
+        the pool (re-forking it when it broke) up to the retry budget,
+        then quarantine to one inline re-execution; a broken or
+        unavailable pool degrades the whole run to inline execution of
+        the same tasks — identical results and counts either way.
         """
         self.fallback_reason = None
         self.fallback_code = None
+        self.last_run = {
+            "kind": kind,
+            "faults": {},
+            "retries": {},
+            "quarantined": set(),
+        }
+        mode = self._trace_mode()
         self.stats["morsels"] += len(payloads)
+        results: Optional[List[Tuple[Any, tuple]]] = None
         if self.pool_mode != "inline":
-            results = self._run_pooled(kind, payloads)
+            results = self._run_pooled(kind, payloads, mode)
             if results is not None:
                 self.stats["process_runs"] += 1
-                return results
-        self.stats["inline_runs"] += 1
-        return [
-            self._run_inline_one(kind, index, payload)
-            for index, payload in enumerate(payloads)
-        ]
+        if results is None:
+            self.stats["inline_runs"] += 1
+            results = [
+                self._run_inline_one(kind, index, payload, mode=mode)
+                for index, payload in enumerate(payloads)
+            ]
+        if mode:
+            self._absorb_telemetry(kind, results)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # telemetry absorption
+    # ------------------------------------------------------------------ #
+
+    def _absorb_telemetry(
+        self, kind: str, results: List[Tuple[Any, tuple]]
+    ) -> None:
+        """Fold traced results' telemetry into per-worker stats/metrics.
+
+        Runs only on traced runs (``mode`` nonzero), after every morsel
+        has gathered.  Two sinks: ``worker_stats`` (the cumulative
+        per-pid dict surfaced through ``db.scheduler_stats()``) and,
+        when observability metrics are active, ``worker``-labelled
+        series in the registry.  The coordinator-level deref counters
+        are re-published here too: traced tasks flush their deref
+        tallies into the *worker-local* registry (which dies with the
+        worker, or is read back below), so without this the global
+        ``deref_cache_requests_total`` would go dark whenever telemetry
+        is on.
+        """
+        obs = obs_runtime.active()
+        metrics = obs.metrics if obs is not None else None
+        buckets = (
+            obs.config.worker_morsel_buckets if obs is not None else (1.0,)
+        )
+        last_run = self.last_run or {}
+        retries = last_run.get("retries", {})
+        quarantined = last_run.get("quarantined", set())
+        for index, item in enumerate(results):
+            if len(item) < 3:
+                continue
+            pid, elapsed, queue_wait, hits, misses, _span = item[2]
+            stats = self.worker_stats.setdefault(
+                pid,
+                {
+                    "morsels": 0,
+                    "busy_seconds": 0.0,
+                    "queue_wait_seconds": 0.0,
+                    "deref_hits": 0,
+                    "deref_misses": 0,
+                    "deref_hit_rate": None,
+                    "retried_morsels": 0,
+                    "quarantined_morsels": 0,
+                },
+            )
+            stats["morsels"] += 1
+            stats["busy_seconds"] += elapsed
+            stats["queue_wait_seconds"] += queue_wait
+            stats["deref_hits"] += hits
+            stats["deref_misses"] += misses
+            requests = stats["deref_hits"] + stats["deref_misses"]
+            stats["deref_hit_rate"] = (
+                stats["deref_hits"] / requests if requests else None
+            )
+            stats["retried_morsels"] += retries.get(index, 0)
+            if index in quarantined:
+                stats["quarantined_morsels"] += 1
+            if metrics is not None:
+                metrics.counter(
+                    "worker_morsels_total",
+                    "Morsels completed per worker process",
+                    worker=pid,
+                    kind=kind,
+                ).inc()
+                metrics.histogram(
+                    "worker_morsel_seconds",
+                    buckets,
+                    "Per-morsel wall-clock per worker process",
+                    worker=pid,
+                ).observe(elapsed)
+                metrics.gauge(
+                    "worker_queue_wait_seconds_total",
+                    "Cumulative dispatch-to-start wait per worker",
+                    worker=pid,
+                ).inc(queue_wait)
+                if hits:
+                    metrics.counter(
+                        "worker_deref_cache_requests_total",
+                        "Worker-side deref-cache lookups by outcome",
+                        worker=pid,
+                        outcome="hit",
+                    ).inc(hits)
+                    metrics.counter(
+                        "deref_saved_traversals_total", "",
+                    ).inc(hits)
+                    metrics.counter(
+                        "deref_cache_requests_total", "", outcome="hit"
+                    ).inc(hits)
+                if misses:
+                    metrics.counter(
+                        "worker_deref_cache_requests_total",
+                        "Worker-side deref-cache lookups by outcome",
+                        worker=pid,
+                        outcome="miss",
+                    ).inc(misses)
+                    metrics.counter(
+                        "deref_cache_requests_total", "", outcome="miss"
+                    ).inc(misses)
 
     # ------------------------------------------------------------------ #
     # pooled path
     # ------------------------------------------------------------------ #
 
     def _run_pooled(
-        self, kind: str, payloads: List[tuple]
+        self, kind: str, payloads: List[tuple], mode: int = 0
     ) -> Optional[List[Tuple[Any, tuple]]]:
         """All results via the pool, or None for a whole-run fallback.
 
@@ -304,8 +462,15 @@ class MorselScheduler:
                     "kill": tasks.worker_exit,
                 }[action]
                 try:
+                    # The dispatch stamp is taken per submit (retries
+                    # included) so queue wait measures this attempt's
+                    # time on the pool's queue, not the whole retry saga.
                     futures[index] = pool.submit(
-                        task_fn, (kind, payloads[index])
+                        task_fn,
+                        trace_request(
+                            kind, payloads[index], mode, index,
+                            time.monotonic(),
+                        ),
                     )
                 except Exception:
                     # submit() only fails when the pool itself is gone;
@@ -339,7 +504,7 @@ class MorselScheduler:
                     quarantined.append(index)
                 else:
                     pending.append(index)
-                    self.stats["morsel_retries"] += 1
+                    self._note_retry(index)
                     _metric("morsel_retries_total", kind=kind)
             if pool_broke:
                 if pending:
@@ -355,9 +520,11 @@ class MorselScheduler:
                     self._discard_pool()
         for index in quarantined:
             self.stats["quarantined_morsels"] += 1
+            if self.last_run is not None:
+                self.last_run["quarantined"].add(index)
             _metric("quarantined_morsels_total", kind=kind)
             results[index] = self._run_inline_one(
-                kind, index, payloads[index], budget=1
+                kind, index, payloads[index], budget=1, mode=mode
             )
         if retried_ok and self._verify_retries_active():
             self._verify_retried(kind, payloads, results, retried_ok)
@@ -386,7 +553,10 @@ class MorselScheduler:
         """
         for index in indices:
             replay = tasks.run_task((kind, payloads[index]))
-            if replay != results[index]:
+            # Compare only (result, packed_counts) — a traced result
+            # carries a trailing telemetry tuple whose wall-clock
+            # fields are never bit-stable.
+            if replay != tuple(results[index][:2]):
                 raise AssertionError(
                     f"retried morsel {index} of {kind!r} diverged from "
                     f"its inline replay — the counter-merge determinism "
@@ -405,6 +575,7 @@ class MorselScheduler:
         index: int,
         payload: tuple,
         budget: Optional[int] = None,
+        mode: int = 0,
     ) -> Tuple[Any, tuple]:
         """One morsel inline, with the same bounded retry semantics.
 
@@ -420,11 +591,13 @@ class MorselScheduler:
                 action = self._worker_fault(kind, index)
                 if action is not None:
                     raise InjectedFaultError("pool.worker", action)
-                return tasks.run_task((kind, payload))
+                return tasks.run_task(
+                    trace_request(kind, payload, mode, index, time.monotonic())
+                )
             except Exception as exc:
                 last = exc
                 if attempt + 1 < remaining:
-                    self.stats["morsel_retries"] += 1
+                    self._note_retry(index)
                     _metric("morsel_retries_total", kind=kind)
         _metric("poisoned_morsels_total", kind=kind)
         raise PoisonedMorselError(kind, index, repr(last)) from last

@@ -19,9 +19,11 @@ the task was computed against — even for workers forked late.
 
 from __future__ import annotations
 
+import os
 import pickle
+import time
 from itertools import islice
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.instrument import (
     count_hash,
@@ -32,6 +34,7 @@ from repro.instrument import (
 from repro.instrument.counters import OpCounters
 from repro.query.executor import filter_column_resolver
 from repro.query.parallel.transport import (
+    TRACE_SPANS,
     decode_rows,
     encode_refs,
     encode_rows,
@@ -316,8 +319,97 @@ def run_task(request: Tuple[str, tuple]) -> Tuple[Any, Tuple[int, ...]]:
     The entry point both pool workers and the inline executor call; the
     isolated scope is what makes per-worker counting race-free and the
     packed result mergeable by the parent.
+
+    A request is ``(kind, payload)`` — the untraced fast path, returning
+    ``(result, packed_counts)`` exactly as before — or
+    ``(kind, payload, trace_ctx)`` when the parent has observability
+    active (see :func:`~repro.query.parallel.transport.trace_request`),
+    returning ``(result, packed_counts, telemetry)`` where the telemetry
+    tuple carries pid, wall-clock, queue wait, the worker-local deref
+    hit/miss tallies, and (in span mode) the serialized worker span tree
+    for the coordinator to graft.  Either way the packed counts are
+    bit-identical: the worker span's scope rolls up into the isolated
+    scope, so tracing attributes the same counts, never new ones.
     """
-    kind, payload = request
-    with counters_scope() as scope:
-        result = _HANDLERS[kind](payload)
-    return result, pack_counts(scope)
+    if len(request) == 2:
+        kind, payload = request
+        with counters_scope() as scope:
+            result = _HANDLERS[kind](payload)
+        return result, pack_counts(scope)
+    kind, payload, ctx = request
+    return _run_traced(kind, payload, ctx)
+
+
+def _run_traced(
+    kind: str, payload: tuple, ctx: Tuple[int, int, float]
+) -> Tuple[Any, Tuple[int, ...], tuple]:
+    """One traced task under a worker-local observability instance.
+
+    The worker activates its own lightweight
+    :class:`~repro.obs.Observability` (metrics always, tracing in span
+    mode) for the duration of the handler and restores the previous
+    instance after — essential in inline mode, where "worker" and
+    coordinator share a process and the coordinator's tracer must not
+    see worker-internal spans directly (they arrive grafted instead,
+    identically to the process-pool path).  The deref-cache flush inside
+    the handler publishes into the worker-local registry, which is read
+    back into the telemetry tuple — this is how per-worker hit rates
+    escape forked processes whose registries die with them.
+    """
+    from repro.obs import Observability, ObservabilityConfig
+    from repro.obs import runtime as obs_runtime
+
+    mode, index, dispatched_at = ctx
+    queue_wait = max(0.0, time.monotonic() - dispatched_at)
+    local = Observability(
+        ObservabilityConfig(
+            tracing=mode >= TRACE_SPANS,
+            metrics=True,
+            slow_query_ops=None,
+            flight_recorder=False,
+        )
+    )
+    previous = obs_runtime.activate(local)
+    started = time.perf_counter()
+    try:
+        with counters_scope() as scope:
+            if local.tracer is not None:
+                with local.tracer.span(
+                    f"worker.{kind}",
+                    kind="worker",
+                    pid=os.getpid(),
+                    morsel=index,
+                ):
+                    result = _HANDLERS[kind](payload)
+            else:
+                result = _HANDLERS[kind](payload)
+    finally:
+        if previous is None:
+            obs_runtime.deactivate()
+        else:
+            obs_runtime.activate(previous)
+    elapsed = time.perf_counter() - started
+    hits, misses = _deref_tallies(local)
+    span_dict: Optional[dict] = None
+    if local.tracer is not None:
+        root = local.tracer.last()
+        if root is not None:
+            root.attrs["queue_wait"] = queue_wait
+            root.attrs["deref_hits"] = hits
+            root.attrs["deref_misses"] = misses
+            span_dict = root.to_dict()
+    telemetry = (os.getpid(), elapsed, queue_wait, hits, misses, span_dict)
+    return result, pack_counts(scope), telemetry
+
+
+def _deref_tallies(local) -> Tuple[int, int]:
+    """(hits, misses) the task flushed into the worker-local registry."""
+    if local.metrics is None:
+        return 0, 0
+    hits = local.metrics.counter(
+        "deref_cache_requests_total", outcome="hit"
+    ).value
+    misses = local.metrics.counter(
+        "deref_cache_requests_total", outcome="miss"
+    ).value
+    return hits, misses

@@ -29,6 +29,42 @@ Row = Tuple[TupleRef, ...]
 #: Join/predicate literal types that are safe and cheap to pickle.
 _PLAIN_VALUES = (int, float, str, bytes, bool, type(None), TupleRef)
 
+# --------------------------------------------------------------------- #
+# trace context
+# --------------------------------------------------------------------- #
+
+#: Trace modes carried in a task request's optional third element.
+#: ``TRACE_TELEMETRY`` ships timing/deref telemetry only (observability
+#: metrics without tracing); ``TRACE_SPANS`` additionally ships the
+#: worker's serialized span tree for grafting.
+TRACE_TELEMETRY = 1
+TRACE_SPANS = 2
+
+#: Telemetry tuple layout shipped back by a traced task:
+#: ``(pid, elapsed_seconds, queue_wait_seconds, deref_hits,
+#:   deref_misses, span_dict_or_None)``.
+TELEMETRY_FIELDS = (
+    "pid", "elapsed", "queue_wait", "deref_hits", "deref_misses", "span"
+)
+
+
+def trace_request(
+    kind: str, payload: tuple, mode: int, index: int, dispatched_at: float
+) -> tuple:
+    """One task request, with or without a trace context.
+
+    ``mode`` 0 builds the plain two-element request — bit-identical to
+    the untraced wire format, so the zero-overhead contract holds when
+    observability is off.  Otherwise the context travels as
+    ``(mode, morsel_index, dispatch_monotonic)``; ``dispatched_at`` is a
+    ``time.monotonic()`` stamp, which on Linux is CLOCK_MONOTONIC and
+    therefore comparable across the fork boundary — queue wait is the
+    worker-side ``monotonic() - dispatched_at``.
+    """
+    if not mode:
+        return (kind, payload)
+    return (kind, payload, (mode, index, dispatched_at))
+
 
 def encode_refs(refs: Sequence[TupleRef]) -> List[Tuple[int, int]]:
     """Tuple pointers -> ``(partition_id, slot)`` int pairs."""
