@@ -1,0 +1,306 @@
+"""Pickle vs. shared-memory morsel transport across worker counts.
+
+Runs two workloads through the morsel-parallel batch engine under both
+transports (``pickle`` and ``shm``, see DESIGN.md section 3.13):
+
+* the Graph-2-style 60/20/20 query mix (the same plan trees as
+  ``bench_vectorized.py``);
+* a **wide-probe join** — a high fan-out hash join whose probe dispatch
+  and joined result rows dwarf the fixed per-morsel overhead, the
+  workload the shm transport exists for.
+
+Three properties are asserted:
+
+* **determinism** — every transport x workers combination produces
+  identical result rows and identical merged Section 3.1 counter
+  totals (``deref_saved_traversals`` excluded, as everywhere);
+* **pipe-byte reduction** — on the wide-probe workload the shm
+  transport must move >= 5x fewer coordinator pipe bytes
+  (dispatch + result) than pickle at every worker count;
+* **speedup** — shm must not be slower than pickle at the top worker
+  count on the wide-probe workload.  Wall-clock on shared CI hosts is
+  noisy, so the gate is informational unless ``REPRO_REQUIRE_SPEEDUP``
+  is set (matching ``bench_parallel.py``).
+
+Byte totals are measured in a separate untimed pass
+(``scheduler.measure_bytes`` pickles every payload to count it, which
+would distort the timed rounds).
+"""
+
+from __future__ import annotations
+
+import os
+
+try:
+    from benchmarks.bench_vectorized import (
+        N_INNER,
+        N_OUTER,
+        N_QUERIES,
+        build_db,
+        query_mix,
+        run_mix,
+    )
+    from benchmarks.harness import (
+        SeriesCollector,
+        bench_rng,
+        measure,
+        scaled,
+    )
+except ImportError:  # pragma: no cover - direct execution
+    from bench_vectorized import (
+        N_INNER,
+        N_OUTER,
+        N_QUERIES,
+        build_db,
+        query_mix,
+        run_mix,
+    )
+    from harness import SeriesCollector, bench_rng, measure, scaled
+
+from repro import Field, FieldType
+from repro.instrument import counters_scope
+from repro.query.parallel import fork_available, shm
+from repro.query.plan import JoinNode, ScanNode
+
+TIMING_ROUNDS = 3
+TRANSPORTS = ("pickle", "shm") if shm.available() else ("pickle",)
+WORKER_SWEEP = (2, 4)
+REQUIRED_BYTE_REDUCTION = 5.0
+
+#: Wide-probe workload: a small value space gives the join a high
+#: fan-out, so result traffic dominates; the probe side is large enough
+#: to decompose into many morsels.
+N_WIDE_PROBE = scaled(30000)  # 3,000 by default
+N_WIDE_BUILD = scaled(2000)  # 200 by default
+WIDE_VALUE_SPACE = 20
+MORSEL_SIZE = max(256, N_OUTER // 8)
+SHM_THRESHOLD = 64
+
+
+def _pool_mode() -> str:
+    return "process" if fork_available() else "inline"
+
+
+def speedup_gate_active() -> bool:
+    return os.environ.get("REPRO_REQUIRE_SPEEDUP", "") not in ("", "0")
+
+
+def add_wide_probe(db):
+    """Register the wide-probe pair alongside the mix tables."""
+    rng = bench_rng()
+    db.create_relation(
+        "WideR",
+        [Field("Id", FieldType.INT), Field("K", FieldType.INT)],
+        primary_key="Id",
+    )
+    db.create_relation(
+        "WideS",
+        [Field("Id", FieldType.INT), Field("K", FieldType.INT)],
+        primary_key="Id",
+    )
+    for i in range(N_WIDE_PROBE):
+        db.insert("WideR", [i, rng.randrange(WIDE_VALUE_SPACE)])
+    for i in range(N_WIDE_BUILD):
+        db.insert("WideS", [i, rng.randrange(WIDE_VALUE_SPACE)])
+
+
+def wide_probe_plan():
+    return JoinNode(ScanNode("WideR"), ScanNode("WideS"), "K", "K", "hash")
+
+
+def _configure(db, transport, workers):
+    db.configure_execution(
+        engine="batch",
+        workers=workers,
+        morsel_size=MORSEL_SIZE,
+        pool=_pool_mode(),
+        transport=transport,
+        shm_threshold_rows=SHM_THRESHOLD,
+    )
+
+
+def _counters_key(snapshot) -> dict:
+    counts = snapshot.as_dict()
+    counts.pop("deref_saved_traversals", None)
+    return counts
+
+
+def _run_all(db, plans):
+    """Rows + merged counters for one pass over ``plans``."""
+    with counters_scope() as scope:
+        rows = [db.executor.execute(plan).rows() for plan in plans]
+    return rows, _counters_key(scope.snapshot())
+
+
+def _pipe_bytes(db, plans):
+    """Dispatch/result byte totals for one untimed measured pass."""
+    scheduler = db.executor.scheduler
+    scheduler.measure_bytes = True
+    before_dispatch = scheduler.stats["dispatch_bytes"]
+    before_result = scheduler.stats["result_bytes"]
+    for plan in plans:
+        db.executor.execute(plan)
+    scheduler.measure_bytes = False
+    return (
+        scheduler.stats["dispatch_bytes"] - before_dispatch,
+        scheduler.stats["result_bytes"] - before_result,
+    )
+
+
+def main() -> None:
+    db = build_db()
+    add_wide_probe(db)
+    mix_plans = query_mix()
+    wide = [wide_probe_plan()]
+
+    series = SeriesCollector(
+        f"Morsel transport pickle vs shm - 60/20/20 mix + wide-probe "
+        f"join, |Orders|={N_OUTER}, |Parts|={N_INNER}, "
+        f"|WideR|={N_WIDE_PROBE}, |WideS|={N_WIDE_BUILD}, "
+        f"morsel={MORSEL_SIZE}, threshold={SHM_THRESHOLD}",
+        "transport@workers",
+        [
+            "mix_seconds",
+            "wide_seconds",
+            "wide_pipe_ratio",
+            "cost",
+            "comparisons",
+            "hashes",
+        ],
+    )
+
+    reference = None
+    wide_seconds = {}
+    wide_bytes = {}
+    # Raw byte totals go in ``extra``, not gated columns: pickled
+    # descriptor sizes embed segment names (and thus pid digits), so
+    # they jitter by a few bytes run to run.
+    byte_detail = {}
+    latencies = {}
+    for transport in TRANSPORTS:
+        for workers in WORKER_SWEEP:
+            label = f"{transport}@{workers}"
+            _configure(db, transport, workers)
+
+            # Correctness pass: rows and counters must match the first
+            # configuration bit-for-bit.
+            mix_rows, mix_counts = _run_all(db, mix_plans)
+            wide_rows, wide_counts = _run_all(db, wide)
+            key = (mix_rows, mix_counts, wide_rows, wide_counts)
+            if reference is None:
+                reference = key
+            else:
+                assert key[0] == reference[0] and key[2] == reference[2], (
+                    f"{label} changed result rows"
+                )
+                assert key[1] == reference[1] and key[3] == reference[3], (
+                    f"{label} changed merged counter totals"
+                )
+
+            # Byte pass (untimed: measuring pickles every payload).
+            dispatch_bytes, result_bytes = _pipe_bytes(db, wide)
+            wide_bytes[(transport, workers)] = dispatch_bytes + result_bytes
+            byte_detail[label] = {
+                "dispatch_bytes": dispatch_bytes,
+                "result_bytes": result_bytes,
+            }
+            pipe_ratio = round(
+                wide_bytes[("pickle", workers)]
+                / max(1, wide_bytes[(transport, workers)]),
+                2,
+            )
+
+            # Timed pass.
+            mix_best = None
+            counters = None
+            samples = latencies.setdefault(label, [])
+            for _ in range(TIMING_ROUNDS):
+                _, snap, elapsed = measure(lambda: run_mix(db, mix_plans))
+                samples.append(elapsed)
+                if mix_best is None or elapsed < mix_best:
+                    mix_best, counters = elapsed, snap
+            wide_best = None
+            wide_samples = latencies.setdefault(f"wide:{label}", [])
+            for _ in range(TIMING_ROUNDS):
+                _, __, elapsed = measure(lambda: run_mix(db, wide))
+                wide_samples.append(elapsed)
+                if wide_best is None or elapsed < wide_best:
+                    wide_best = elapsed
+            wide_seconds[(transport, workers)] = wide_best
+
+            series.add(
+                label,
+                mix_seconds=mix_best,
+                wide_seconds=wide_best,
+                wide_pipe_ratio=pipe_ratio,
+                cost=counters.weighted_cost(),
+                comparisons=counters.comparisons,
+                hashes=counters.hashes,
+            )
+    db.configure_execution(engine="tuple")
+
+    # The payoff gates.
+    reductions = {}
+    if "shm" in TRANSPORTS:
+        for workers in WORKER_SWEEP:
+            pickle_total = wide_bytes[("pickle", workers)]
+            shm_total = wide_bytes[("shm", workers)]
+            reduction = pickle_total / max(1, shm_total)
+            reductions[str(workers)] = round(reduction, 2)
+            assert reduction >= REQUIRED_BYTE_REDUCTION, (
+                f"wide-probe pipe bytes at {workers} workers: pickle "
+                f"{pickle_total} vs shm {shm_total} is only "
+                f"{reduction:.2f}x, need {REQUIRED_BYTE_REDUCTION}x"
+            )
+
+    gate = speedup_gate_active() and "shm" in TRANSPORTS
+    top = WORKER_SWEEP[-1]
+    speedup = None
+    if "shm" in TRANSPORTS:
+        speedup = round(
+            wide_seconds[("pickle", top)] / wide_seconds[("shm", top)], 3
+        )
+
+    series.publish(
+        "shm_transport",
+        extra={
+            "wide_pipe_bytes": byte_detail,
+            "pipe_byte_reduction_ratio": reductions,
+            "required_byte_reduction": REQUIRED_BYTE_REDUCTION,
+            "wide_speedup_ratio_at_top": speedup,
+            "speedup_gate_enforced": gate,
+            "pool": _pool_mode(),
+            "morsel_size": MORSEL_SIZE,
+            "shm_threshold_rows": SHM_THRESHOLD,
+            "queries": N_QUERIES,
+            "wide_probe": {
+                "probe_rows": N_WIDE_PROBE,
+                "build_rows": N_WIDE_BUILD,
+                "value_space": WIDE_VALUE_SPACE,
+            },
+        },
+        config={"engine": "batch", "workers": list(WORKER_SWEEP)},
+        latencies=latencies,
+    )
+    print(
+        f"wide-probe pipe-byte reduction: {reductions} "
+        f"(gate: >= {REQUIRED_BYTE_REDUCTION}x); "
+        f"shm speedup at {top} workers: {speedup} "
+        f"({'ENFORCED' if gate else 'informational'})"
+    )
+    if gate:
+        assert speedup is not None and speedup >= 1.0, (
+            f"shm transport is {speedup}x vs pickle at {top} workers "
+            f"(must not be slower with REPRO_REQUIRE_SPEEDUP set)"
+        )
+
+    # Segment hygiene: nothing may outlive the run.
+    assert shm.arena().active_segments() == 0, "leaked shm segments"
+    residue = [
+        f for f in os.listdir("/dev/shm") if f.startswith("repro-")
+    ] if os.path.isdir("/dev/shm") else []
+    assert residue == [], f"leaked /dev/shm entries: {residue}"
+
+
+if __name__ == "__main__":
+    main()

@@ -242,6 +242,8 @@ class MainMemoryDatabase:
         pool: str = None,
         retry_attempts: int = None,
         retry_timeout: float = None,
+        transport: str = None,
+        shm_threshold_rows: int = None,
     ):
         """Select the execution engine (tuple-at-a-time vs. batch).
 
@@ -258,6 +260,12 @@ class MainMemoryDatabase:
         result caches and observability carry over.  Invalid settings
         raise :class:`repro.errors.ConfigError` here, before any plan
         runs.  Returns the new executor.
+
+        ``transport="shm"`` moves morsel payloads through packed
+        shared-memory segments instead of the pool pipe (see DESIGN.md
+        section 3.13); the default follows ``REPRO_TRANSPORT``, falling
+        back to ``"pickle"``.  ``shm_threshold_rows`` tunes the minimum
+        payload size worth a segment.
         """
         from repro.errors import ConfigError
         from repro.query.vectorized import BatchExecutor, ExecutionConfig
@@ -270,6 +278,8 @@ class MainMemoryDatabase:
             "pool": pool,
             "retry_attempts": retry_attempts,
             "retry_timeout": retry_timeout,
+            "transport": transport,
+            "shm_threshold_rows": shm_threshold_rows,
         }
         given = {
             name: value
@@ -300,6 +310,8 @@ class MainMemoryDatabase:
                     pool=config.pool,
                     retry_attempts=config.retry_attempts,
                     retry_timeout=config.retry_timeout,
+                    transport=config.transport,
+                    shm_threshold_rows=config.shm_threshold_rows,
                 )
                 par_runtime.activate_scheduler(self.executor.scheduler)
             else:
@@ -388,10 +400,20 @@ class MainMemoryDatabase:
         scheduler = getattr(self.executor, "scheduler", None)
         if scheduler is None:
             return None
+        from repro.query.parallel import shm, tasks
+
         stats: Dict[str, Any] = dict(scheduler.stats)
         stats["workers"] = {
             pid: dict(per) for pid, per in scheduler.worker_stats.items()
         }
+        stats["transport"] = scheduler.transport
+        arena = shm.arena()
+        stats["shm"] = {
+            "segments_active": arena.active_segments(),
+            "segments_created": arena.created_segments,
+            "bytes_created": arena.created_bytes,
+        }
+        stats["blob_cache"] = tasks.blob_cache_stats()
         return stats
 
     def observability_report(self, top: int = 10) -> str:

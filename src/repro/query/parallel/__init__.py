@@ -8,6 +8,10 @@ that totals are identical regardless of worker count:
 * :mod:`~repro.query.parallel.transport` — wire encoding (int-pair
   tuple pointers, descriptor specs, plain-predicate checks, morsel
   bounds);
+* :mod:`~repro.query.parallel.shm` — the shared-memory transport:
+  packed pointer segments, the :class:`~repro.query.parallel.shm.
+  ShmArena` lifecycle registry, and the worker-side segment cache
+  behind ``configure_execution(transport="shm")``;
 * :mod:`~repro.query.parallel.tasks` — worker-side task functions over
   the forked catalog snapshot;
 * :mod:`~repro.query.parallel.scheduler` —

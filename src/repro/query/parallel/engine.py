@@ -35,12 +35,15 @@ tracer is active, exactly as in the scalar batch engine).
 
 from __future__ import annotations
 
+import os
 import pickle
+import warnings
 from typing import Any, List, Optional, Tuple
 
 from repro.instrument import count_alloc, count_move, count_traverse
 from repro.instrument.counters import current_counters
 from repro.obs import runtime as obs_runtime
+from repro.query.parallel import shm
 from repro.query.parallel.scheduler import MorselScheduler
 from repro.query.parallel.tasks import merge_packed
 from repro.query.parallel.transport import (
@@ -63,6 +66,8 @@ from repro.query.vectorized.config import (
     DEFAULT_BATCH_SIZE,
     DEFAULT_MORSEL_SIZE,
     DEFAULT_RETRY_ATTEMPTS,
+    DEFAULT_SHM_THRESHOLD,
+    TRANSPORTS,
 )
 from repro.query.vectorized.engine import BatchExecutor
 from repro.query.vectorized.kernels import (
@@ -91,6 +96,8 @@ class ParallelBatchExecutor(BatchExecutor):
         pool: str = "auto",
         retry_attempts: int = DEFAULT_RETRY_ATTEMPTS,
         retry_timeout: float = 0.0,
+        transport: Optional[str] = None,
+        shm_threshold_rows: int = DEFAULT_SHM_THRESHOLD,
     ) -> None:
         super().__init__(catalog, result_cache, batch_size)
         if workers < 2:
@@ -100,6 +107,32 @@ class ParallelBatchExecutor(BatchExecutor):
             )
         self.workers = int(workers)
         self.morsel_size = int(morsel_size)
+        if transport is None:
+            # Mirror ExecutionConfig: directly-constructed executors
+            # (tests, benches) honour the lane-wide env default too.
+            transport = os.environ.get("REPRO_TRANSPORT", "pickle")
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; choose from {TRANSPORTS}"
+            )
+        #: Why an shm request degraded to pickle (None when it didn't).
+        self.transport_fallback: Optional[str] = None
+        if transport == "shm" and not shm.available():
+            # Loud and deterministic: the caller asked for shm, the
+            # platform can't back it, and silence here would make every
+            # downstream byte measurement a lie.
+            self.transport_fallback = (
+                "multiprocessing.shared_memory unavailable; "
+                "using the pickle transport"
+            )
+            warnings.warn(
+                f"transport='shm' requested but {self.transport_fallback}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            transport = "pickle"
+        self.transport = transport
+        self.shm_threshold_rows = int(shm_threshold_rows)
         self.scheduler = MorselScheduler(
             catalog,
             self.workers,
@@ -107,6 +140,7 @@ class ParallelBatchExecutor(BatchExecutor):
             morsel_size=self.morsel_size,
             retry_attempts=retry_attempts,
             retry_timeout=retry_timeout,
+            transport=self.transport,
         )
 
     def close(self) -> None:
@@ -138,6 +172,11 @@ class ParallelBatchExecutor(BatchExecutor):
         payloads = []
         for index, item in enumerate(results):
             payload, packed = item[0], item[1]
+            if shm.is_rows(payload):
+                # A worker packed this result into a transferred
+                # segment; materialize it (and reclaim the segment —
+                # the coordinator owns it from the transfer on).
+                payload = shm.read_rows(payload, unlink=True)
             telemetry = item[2] if len(item) > 2 else None
             with obs_runtime.span(
                 f"{op_name}.morsel", "morsel", index=index
@@ -170,17 +209,75 @@ class ParallelBatchExecutor(BatchExecutor):
             morsel_span.attrs["retries"] = retries
         if index in (last_run.get("quarantined") or ()):
             morsel_span.attrs["quarantined"] = True
+        transport = (last_run.get("transport") or {}).get(index)
+        if transport is not None:
+            morsel_span.attrs["transport"] = transport
+        payload_bytes = (last_run.get("payload_bytes") or {}).get(index)
+        if payload_bytes is not None:
+            morsel_span.attrs["payload_bytes"] = payload_bytes
         if span_dict is not None:
             morsel_span.children.append(Span.from_dict(span_dict))
 
-    def _row_morsels(self, rows: List[Any]) -> List[List[Any]]:
+    def _dispatch_morsels(
+        self, rows: List[Any]
+    ) -> Tuple[List[Any], Optional[str]]:
+        """Per-morsel dispatch payload elements, plus a segment to reap.
+
+        Pickle transport (or an input under the shm threshold): plain
+        encoded-row slices, exactly the classic wire.  Shm transport
+        above the threshold: the whole operator input is packed *once*
+        into one coordinator-owned segment, and each morsel carries only
+        a tiny slice descriptor naming its ``[start, stop)`` window.
+        The caller must unlink the returned segment name after the run
+        (see :meth:`_run_op`).
+        """
         encoded = encode_rows(rows)
-        return [
-            encoded[start:stop]
-            for start, stop in morsel_bounds(
-                len(encoded), self.morsel_size
+        bounds = morsel_bounds(len(encoded), self.morsel_size)
+        if (
+            self.transport == "shm"
+            and len(encoded) >= self.shm_threshold_rows
+        ):
+            row_width = len(encoded[0])
+            descriptor = shm.write_rows(encoded, row_width, "rows")
+            name = descriptor[1]
+            return (
+                [
+                    shm.shm_slice(name, row_width, start, stop)
+                    for start, stop in bounds
+                ],
+                name,
             )
-        ]
+        return [encoded[start:stop] for start, stop in bounds], None
+
+    def _run_op(
+        self,
+        kind: str,
+        payloads: List[tuple],
+        segments: Tuple[Optional[str], ...] = (),
+    ) -> List[Tuple[Any, tuple]]:
+        """One scheduler run, with shm wrapping and segment reaping.
+
+        In shm mode every payload is wrapped as ``("shm:req",
+        threshold, inner)`` so workers know to pack large results into
+        transferred segments; in pickle mode payloads pass through
+        *untouched* — the wire stays byte-identical to the classic
+        transport.  Coordinator-owned dispatch/broadcast segments are
+        unlinked after the run returns — by then every retry,
+        quarantine re-execution, and retry verification has finished
+        with them (attached readers on Linux survive the unlink; the
+        name just disappears).
+        """
+        if self.transport == "shm":
+            payloads = [
+                (shm.REQUEST_TAG, self.shm_threshold_rows, payload)
+                for payload in payloads
+            ]
+        try:
+            return self.scheduler.run(kind, payloads)
+        finally:
+            for name in segments:
+                if name is not None:
+                    shm.arena().unlink(name)
 
     # ------------------------------------------------------------------ #
     # parallel selection
@@ -201,7 +298,9 @@ class ParallelBatchExecutor(BatchExecutor):
             (token, relation.name, node.predicate, start, stop)
             for start, stop in morsel_bounds(len(refs), self.morsel_size)
         ]
-        results = self.scheduler.run("scan_filter", payloads)
+        # Scan dispatch ships no rows (only bounds); results may still
+        # return through shm, which _run_op's wrapper signals.
+        results = self._run_op("scan_filter", payloads)
         kept: list = []
         for encoded in self._merge_morsels("scan", results):
             kept.extend(decode_refs(encoded))
@@ -219,11 +318,11 @@ class ParallelBatchExecutor(BatchExecutor):
             return None
         token = self.scheduler.token
         spec = describe(descriptor)
+        morsels, segment = self._dispatch_morsels(rows)
         payloads = [
-            (token, spec, predicate, morsel)
-            for morsel in self._row_morsels(rows)
+            (token, spec, predicate, morsel) for morsel in morsels
         ]
-        results = self.scheduler.run("filter_rows", payloads)
+        results = self._run_op("filter_rows", payloads, (segment,))
         kept: list = []
         for encoded in self._merge_morsels("filter", results):
             kept.extend(decode_rows(encoded))
@@ -275,11 +374,11 @@ class ParallelBatchExecutor(BatchExecutor):
             count_traverse(len(inner) * cost)
             return tasks.build_groups(encode_rows(inner), keys)
         spec = describe(descriptor)
+        morsels, segment = self._dispatch_morsels(inner)
         payloads = [
-            (token, spec, column, morsel)
-            for morsel in self._row_morsels(inner)
+            (token, spec, column, morsel) for morsel in morsels
         ]
-        results = self.scheduler.run("hash_build", payloads)
+        results = self._run_op("hash_build", payloads, (segment,))
         merged: dict = {}
         for groups in self._merge_morsels("hash_join.build", results):
             for key, encoded_rows in groups.items():
@@ -313,11 +412,24 @@ class ParallelBatchExecutor(BatchExecutor):
         blob = pickle.dumps(groups, protocol=pickle.HIGHEST_PROTOCOL)
         table_id = self.scheduler.next_blob_id()
         spec = describe(descriptor)
+        morsels, segment = self._dispatch_morsels(outer)
+        blob_segment: Optional[str] = None
+        if (
+            self.transport == "shm"
+            and len(blob) >= shm.MIN_BLOB_BYTES
+        ):
+            # Broadcast once: the pickled build table goes into a single
+            # segment every worker attaches by name, instead of riding
+            # inside every probe payload on the pipe.
+            blob = shm.write_blob(blob)
+            blob_segment = blob[1]
         payloads = [
             (token, spec, column, table_id, blob, morsel)
-            for morsel in self._row_morsels(outer)
+            for morsel in morsels
         ]
-        results = self.scheduler.run("hash_probe", payloads)
+        results = self._run_op(
+            "hash_probe", payloads, (segment, blob_segment)
+        )
         out: list = []
         for encoded in self._merge_morsels("hash_join.probe", results):
             out.extend(decode_rows(encoded))
@@ -344,11 +456,11 @@ class ParallelBatchExecutor(BatchExecutor):
         token = self.scheduler.token
         spec = describe(descriptor)
         columns = tuple(node.columns)
+        morsels, segment = self._dispatch_morsels(rows)
         payloads = [
-            (token, spec, columns, morsel)
-            for morsel in self._row_morsels(rows)
+            (token, spec, columns, morsel) for morsel in morsels
         ]
-        results = self.scheduler.run("hash_dedup", payloads)
+        results = self._run_op("hash_dedup", payloads, (segment,))
         seen = set()
         add = seen.add
         out: list = []

@@ -36,13 +36,14 @@ from __future__ import annotations
 import concurrent.futures
 import itertools
 import multiprocessing
+import pickle
 import time
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.errors import InjectedFaultError, PoisonedMorselError
 from repro.fault import runtime as fault_runtime
 from repro.obs import runtime as obs_runtime
-from repro.query.parallel import tasks
+from repro.query.parallel import shm, tasks
 from repro.query.parallel.transport import (
     TRACE_SPANS,
     TRACE_TELEMETRY,
@@ -88,10 +89,19 @@ class MorselScheduler:
         retry_attempts: int = DEFAULT_RETRY_ATTEMPTS,
         retry_timeout: float = 0.0,
         verify_retries: Optional[bool] = None,
+        transport: str = "pickle",
     ) -> None:
         self.catalog = catalog
         self.workers = int(workers)
         self.pool_mode = pool_mode
+        #: Which morsel transport the engine resolved ("pickle"|"shm");
+        #: purely descriptive here — the engine builds the payloads —
+        #: but surfaced through ``scheduler_stats()``.
+        self.transport = transport
+        #: Measure per-morsel pipe bytes even without observability
+        #: (benchmarks flip this; measuring means pickling every payload
+        #: a second time, so it must never be the default).
+        self.measure_bytes = False
         #: Morsel granularity for dispatchers without their own setting
         #: (e.g. the parallel index build reaching through the runtime
         #: slot); the engine passes its configured value through.
@@ -107,6 +117,7 @@ class MorselScheduler:
         self.verify_retries = verify_retries
         self.token = next(_token_counter)
         tasks.register_catalog(self.token, catalog)
+        self._closed = False
         self._pool = None
         self._pool_fingerprint: Optional[tuple] = None
         self._blob_ids = itertools.count(1)
@@ -125,6 +136,12 @@ class MorselScheduler:
             "morsel_retries": 0,
             "quarantined_morsels": 0,
             "verified_retries": 0,
+            # Pipe traffic, measured only when observability is active
+            # or ``measure_bytes`` is set: what actually crossed the
+            # pool pipe, pickled — descriptors in shm mode, full
+            # payloads in pickle mode.
+            "dispatch_bytes": 0,
+            "result_bytes": 0,
         }
         #: Per-worker telemetry accumulated from traced runs, keyed by
         #: worker pid: morsels, busy/queue-wait seconds, deref-cache
@@ -202,7 +219,15 @@ class MorselScheduler:
             self._pool_fingerprint = None
 
     def close(self) -> None:
-        """Shut the pool down and release the catalog slot."""
+        """Shut the pool down and release the catalog slot.
+
+        Idempotent: ``__del__`` closes too, and a second release must
+        not pop a token a later scheduler may have been handed (tests
+        pin tokens to compare wire captures across instances).
+        """
+        if self._closed:
+            return
+        self._closed = True
         self._discard_pool()
         tasks.release_catalog(self.token)
 
@@ -297,8 +322,13 @@ class MorselScheduler:
             "faults": {},
             "retries": {},
             "quarantined": set(),
+            "payload_bytes": {},
+            "transport": {},
         }
         mode = self._trace_mode()
+        measure = bool(mode) or self.measure_bytes
+        if measure:
+            self._measure_dispatch(kind, payloads)
         self.stats["morsels"] += len(payloads)
         results: Optional[List[Tuple[Any, tuple]]] = None
         if self.pool_mode != "inline":
@@ -307,13 +337,91 @@ class MorselScheduler:
                 self.stats["process_runs"] += 1
         if results is None:
             self.stats["inline_runs"] += 1
-            results = [
-                self._run_inline_one(kind, index, payload, mode=mode)
-                for index, payload in enumerate(payloads)
-            ]
+            results = []
+            try:
+                for index, payload in enumerate(payloads):
+                    results.append(
+                        self._run_inline_one(kind, index, payload, mode=mode)
+                    )
+            except BaseException:
+                # A poisoned morsel aborts the query; packed result
+                # segments already gathered were ownership-transferred
+                # to this coordinator and must not outlive it.
+                self._reap_packed(results)
+                raise
+        if measure:
+            self._measure_results(results)
         if mode:
             self._absorb_telemetry(kind, results)
         return results
+
+    # ------------------------------------------------------------------ #
+    # pipe-byte accounting
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _payload_transport(payload: Any) -> str:
+        """"shm" for a wrapped shm-protocol payload, else "pickle"."""
+        if (
+            type(payload) is tuple
+            and len(payload) == 3
+            and payload[0] == shm.REQUEST_TAG
+        ):
+            return "shm"
+        return "pickle"
+
+    def _measure_dispatch(
+        self, kind: str, payloads: List[tuple]
+    ) -> None:
+        """Tally what dispatch actually sends through the pool pipe.
+
+        Re-pickles each request exactly as ``pool.submit`` would, so
+        the number is the true pipe cost: in shm mode, descriptors are
+        tiny and the packed rows never appear here — which is the
+        entire point of the transport.  Only runs when observability is
+        active or ``measure_bytes`` is set (re-pickling is not free).
+        """
+        last_run = self.last_run or {}
+        per_morsel = last_run.setdefault("payload_bytes", {})
+        labels = last_run.setdefault("transport", {})
+        for index, payload in enumerate(payloads):
+            nbytes = len(
+                pickle.dumps(
+                    (kind, payload), protocol=pickle.HIGHEST_PROTOCOL
+                )
+            )
+            label = self._payload_transport(payload)
+            per_morsel[index] = nbytes
+            labels[index] = label
+            self.stats["dispatch_bytes"] += nbytes
+            _metric(
+                "transport_bytes_total",
+                nbytes,
+                path="dispatch",
+                transport=label,
+            )
+
+    def _measure_results(
+        self, results: List[Tuple[Any, tuple]]
+    ) -> None:
+        """Tally the return pipe and refresh the segment gauge."""
+        last_run = self.last_run or {}
+        per_morsel = last_run.setdefault("payload_bytes", {})
+        for index, item in enumerate(results):
+            nbytes = len(
+                pickle.dumps(
+                    tuple(item[:2]), protocol=pickle.HIGHEST_PROTOCOL
+                )
+            )
+            label = "shm" if shm.is_rows(item[0]) else "pickle"
+            per_morsel[index] = per_morsel.get(index, 0) + nbytes
+            self.stats["result_bytes"] += nbytes
+            _metric(
+                "transport_bytes_total",
+                nbytes,
+                path="result",
+                transport=label,
+            )
 
     # ------------------------------------------------------------------ #
     # telemetry absorption
@@ -518,17 +626,31 @@ class MorselScheduler:
                     # Nothing left to retry; don't leave a broken pool
                     # for the next run to trip over.
                     self._discard_pool()
-        for index in quarantined:
-            self.stats["quarantined_morsels"] += 1
-            if self.last_run is not None:
-                self.last_run["quarantined"].add(index)
-            _metric("quarantined_morsels_total", kind=kind)
-            results[index] = self._run_inline_one(
-                kind, index, payloads[index], budget=1, mode=mode
-            )
-        if retried_ok and self._verify_retries_active():
-            self._verify_retried(kind, payloads, results, retried_ok)
+        try:
+            for index in quarantined:
+                self.stats["quarantined_morsels"] += 1
+                if self.last_run is not None:
+                    self.last_run["quarantined"].add(index)
+                _metric("quarantined_morsels_total", kind=kind)
+                results[index] = self._run_inline_one(
+                    kind, index, payloads[index], budget=1, mode=mode
+                )
+            if retried_ok and self._verify_retries_active():
+                self._verify_retried(kind, payloads, results, retried_ok)
+        except BaseException:
+            # Poisoning (or a failed retry verification) aborts the
+            # query; reap the packed result segments that were already
+            # transferred to this coordinator.
+            self._reap_packed(results)
+            raise
         return results
+
+    @staticmethod
+    def _reap_packed(results) -> None:
+        """Unlink every packed result segment in a doomed result set."""
+        for item in results:
+            if item is not None and shm.is_rows(item[0]):
+                shm.arena().unlink(item[0][1])
 
     @staticmethod
     def _broken_pool_error(exc: BaseException) -> bool:
@@ -555,8 +677,30 @@ class MorselScheduler:
             replay = tasks.run_task((kind, payloads[index]))
             # Compare only (result, packed_counts) — a traced result
             # carries a trailing telemetry tuple whose wall-clock
-            # fields are never bit-stable.
-            if replay != tuple(results[index][:2]):
+            # fields are never bit-stable.  Packed results compare by
+            # *content*: a replay packs into a fresh segment, so the
+            # descriptors legitimately differ while the rows must not.
+            # The original's segment is read without unlinking (the
+            # engine still decodes it); the replay's is reclaimed here.
+            original = tuple(results[index][:2])
+            if shm.is_rows(original[0]) or shm.is_rows(replay[0]):
+                original_rows = (
+                    shm.read_rows(original[0], unlink=False)
+                    if shm.is_rows(original[0])
+                    else original[0]
+                )
+                replay_rows = (
+                    shm.read_rows(replay[0], unlink=True)
+                    if shm.is_rows(replay[0])
+                    else replay[0]
+                )
+                identical = (
+                    replay_rows == original_rows
+                    and replay[1] == original[1]
+                )
+            else:
+                identical = replay == original
+            if not identical:
                 raise AssertionError(
                     f"retried morsel {index} of {kind!r} diverged from "
                     f"its inline replay — the counter-merge determinism "

@@ -1,0 +1,573 @@
+"""Shared-memory morsel transport: packed pointer segments.
+
+The paper's thesis is that in main memory the *processing* cost —
+copying and moving tuples — dominates, which is why the engine passes
+tuple pointers instead of materialized rows.  The morsel pool betrayed
+that thesis at the process boundary: every dispatch and every result
+pickled its ``(partition_id, slot)`` int pairs through the pool pipe,
+one object header and one memo lookup per integer.  This module
+extends "pass pointers, not data" across forks: pointer rows are packed
+into flat int64 arrays inside named ``multiprocessing.shared_memory``
+segments, and only a tiny descriptor tuple — segment name, row width,
+count — crosses the pipe.
+
+Three kinds of traffic ride on segments (see DESIGN.md section 3.13):
+
+* **dispatch** — the coordinator packs one operator's entire encoded
+  input once; each morsel payload carries an :func:`shm_slice`
+  descriptor naming its ``[start, stop)`` window into that segment;
+* **results** — a worker whose output crosses the row threshold packs
+  it into a fresh per-morsel segment and ships back an
+  :func:`shm_rows` descriptor, transferring ownership (and the duty to
+  unlink) to the coordinator;
+* **broadcast** — the hash-probe build table is pickled once into a
+  single segment that every worker attaches by name, instead of the
+  blob riding inside every probe payload.
+
+**Packed layout.**  A segment is a 16-byte header — two little-endian
+int64s, ``row_width`` then ``count`` — followed by
+``count * row_width * 2`` native int64s: each row is ``row_width``
+``(partition_id, slot)`` pairs laid out flat.  ``row_width == 1`` with
+shape ``"refs"`` stores a bare pointer list (the scan-filter result
+shape).  Packing and unpacking are pure transport: they charge no
+Section 3.1 counters, and int64 round-trips every encoded value
+bit-exactly, so rows decode identical to the pickle wire.
+
+**Lifecycle.**  Every segment is created through the process-local
+:class:`ShmArena`, which records ``(name, creating pid)`` and unlinks
+whatever this process still owns at interpreter exit.  Forked children
+inherit the parent's registry copy-on-write; every mutating arena
+method first discards entries that belong to another pid, so a worker
+can never unlink the coordinator's live segments (re-fork safety), and
+worker-created result segments are explicitly *transferred*: created
+invisible to the resource tracker and forgotten on send, so exactly
+one process — the coordinator that reads them — unlinks each.  Reader
+attaches are likewise tracker-silent (see :func:`_quiet_tracker`):
+every segment produces at most one register/unregister pair, from the
+process that owns its lifecycle.
+
+Platforms without ``multiprocessing.shared_memory`` (or without a
+usable ``/dev/shm``) report :func:`available` false and the engine
+falls back — loudly and deterministically — to the pickle transport.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import struct
+from array import array
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - import success is the normal case
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - platform-dependent
+    shared_memory = None  # type: ignore[assignment]
+    resource_tracker = None  # type: ignore[assignment]
+
+from repro.obs import runtime as obs_runtime
+
+#: Descriptor tags.  A descriptor is a plain tuple whose first element
+#: is one of these markers — cheap to pickle, trivially distinguishable
+#: from the list payloads the pickle transport ships.
+SLICE_TAG = "shm:slice"  # (tag, segment, row_width, start, stop)
+ROWS_TAG = "shm:rows"  # (tag, segment, shape, row_width, count)
+BLOB_TAG = "shm:blob"  # (tag, segment, nbytes)
+REQUEST_TAG = "shm:req"  # (tag, result_threshold, inner_payload)
+
+#: Result shapes a rows descriptor can carry: ``"refs"`` is a flat list
+#: of ``(partition_id, slot)`` pairs, ``"rows"`` a list of tuples of
+#: such pairs.
+SHAPES = ("refs", "rows")
+
+#: Minimum broadcast-blob size worth a segment: below one page the
+#: fixed shm_open/mmap round-trip costs more than pickling the blob
+#: into each payload would.
+MIN_BLOB_BYTES = 4096
+
+#: Header: row_width then count, two little-endian signed 64-bit ints.
+_HEADER = struct.Struct("<qq")
+_ITEM = 8  # bytes per int64
+_PAIR = 2 * _ITEM  # bytes per (partition_id, slot) pair
+
+
+def available() -> bool:
+    """Can this platform back the shm transport?"""
+    return shared_memory is not None
+
+
+# --------------------------------------------------------------------- #
+# packing / unpacking
+# --------------------------------------------------------------------- #
+
+
+def _flatten_rows(rows: Sequence[Tuple[Tuple[int, int], ...]]) -> array:
+    flat = array("q")
+    extend = flat.extend
+    for row in rows:
+        for pair in row:
+            extend(pair)
+    return flat
+
+
+def _flatten_refs(pairs: Sequence[Tuple[int, int]]) -> array:
+    flat = array("q")
+    extend = flat.extend
+    for pair in pairs:
+        extend(pair)
+    return flat
+
+
+def packed_nbytes(row_width: int, count: int) -> int:
+    """Total segment size for ``count`` rows of ``row_width`` pairs."""
+    return _HEADER.size + count * row_width * _PAIR
+
+
+def pack_into(
+    buf, rows: Sequence[Any], row_width: int, shape: str = "rows"
+) -> int:
+    """Pack ``rows`` (rows or refs per ``shape``) into ``buf``.
+
+    Writes the ``(row_width, count)`` header followed by the flat int64
+    payload; returns the number of bytes written.
+    """
+    if shape not in SHAPES:
+        raise ValueError(f"unknown packed shape {shape!r}")
+    flat = (
+        _flatten_refs(rows) if shape == "refs" else _flatten_rows(rows)
+    )
+    data = flat.tobytes()
+    end = _HEADER.size + len(data)
+    _HEADER.pack_into(buf, 0, row_width, len(rows))
+    buf[_HEADER.size:end] = data
+    return end
+
+
+def unpack_header(buf) -> Tuple[int, int]:
+    """``(row_width, count)`` from a packed segment's header."""
+    return _HEADER.unpack_from(buf, 0)
+
+
+def unpack_refs(buf, count: int) -> List[Tuple[int, int]]:
+    """Decode a ``"refs"`` payload: ``count`` ``(pid, slot)`` pairs."""
+    flat = array("q")
+    flat.frombytes(bytes(buf[_HEADER.size:_HEADER.size + count * _PAIR]))
+    it = iter(flat)
+    return [(part, slot) for part, slot in zip(it, it)]
+
+
+def unpack_rows(
+    buf, row_width: int, start: int, stop: int
+) -> List[Tuple[Tuple[int, int], ...]]:
+    """Decode rows ``[start, stop)`` of a ``"rows"`` payload.
+
+    Returns exactly the structure :func:`~repro.query.parallel.
+    transport.encode_rows` produces — tuples of ``(pid, slot)`` tuples —
+    so downstream task kernels cannot tell the transports apart.
+    """
+    lo = _HEADER.size + start * row_width * _PAIR
+    hi = _HEADER.size + stop * row_width * _PAIR
+    flat = array("q")
+    flat.frombytes(bytes(buf[lo:hi]))
+    it = iter(flat)
+    pairs = [(part, slot) for part, slot in zip(it, it)]
+    return [
+        tuple(pairs[i:i + row_width])
+        for i in range(0, len(pairs), row_width)
+    ]
+
+
+# --------------------------------------------------------------------- #
+# the arena: creation, tracking, unlink discipline
+# --------------------------------------------------------------------- #
+
+_seq = itertools.count(1)
+
+
+def _segment_name() -> str:
+    """A process-unique segment name (pid + monotonic counter)."""
+    return f"repro-{os.getpid()}-{next(_seq)}"
+
+
+@contextmanager
+def _quiet_tracker():
+    """Suppress resource-tracker messages for the enclosed block.
+
+    CPython registers a segment with the resource tracker on *every*
+    attach, not just on create, and forked processes share one tracker
+    whose pipe interleaves messages from everyone.  If readers and
+    transferred segments send their own register/unregister pairs,
+    those race the creator's messages and the tracker logs KeyError
+    tracebacks for perfectly balanced lifecycles.  The protocol here
+    instead allows each segment at most one register (its tracked
+    creator) and one unregister (the tracked unlink) — attaches and
+    untracked creations/unlinks say nothing at all.
+    """
+    if resource_tracker is None:  # pragma: no cover - platform-dependent
+        yield
+        return
+    register = resource_tracker.register
+    unregister = resource_tracker.unregister
+    resource_tracker.register = lambda *args, **kwargs: None
+    resource_tracker.unregister = lambda *args, **kwargs: None
+    try:
+        yield
+    finally:
+        resource_tracker.register = register
+        resource_tracker.unregister = unregister
+
+
+class ShmArena:
+    """Tracks the segments this process created and still owns.
+
+    One arena per process (see :func:`arena`); forked children inherit
+    the parent's instance copy-on-write and disown its entries on first
+    touch — a child must never unlink the parent's live segments.
+    """
+
+    def __init__(self) -> None:
+        self._pid = os.getpid()
+        #: name -> tracked?, for every created-but-not-yet-unlinked
+        #: segment this process is responsible for.  ``tracked`` means
+        #: the resource tracker holds a registration that the eventual
+        #: unlink must balance with an unregister.
+        self._owned: Dict[str, bool] = {}
+        #: Cumulative creation tally (observability, not lifecycle).
+        self.created_segments = 0
+        self.created_bytes = 0
+
+    def _disown_foreign(self) -> None:
+        pid = os.getpid()
+        if pid != self._pid:
+            # Forked child: the inherited registry names the parent's
+            # segments.  Abandon them (the parent unlinks its own) and
+            # adopt this pid.
+            self._pid = pid
+            self._owned = {}
+
+    def _publish_gauge(self) -> None:
+        obs = obs_runtime.active()
+        if obs is not None and obs.metrics is not None:
+            obs.metrics.gauge(
+                "shm_segments_active",
+                "Shared-memory segments this process has not unlinked",
+            ).set(len(self._owned))
+
+    def create(self, nbytes: int, tracked: bool = True):
+        """A fresh named segment of at least ``nbytes`` bytes.
+
+        ``tracked=False`` (segments about to be transferred to another
+        process) creates the segment without a resource-tracker
+        registration: the receiving coordinator unlinks it, and a
+        registration here could only produce unbalanced tracker
+        messages.  The cost is crash coverage — a worker hard-killed
+        between creating and shipping such a segment leaks it until
+        host cleanup (the same already-documented window as a
+        timeout-abandoned result).
+        """
+        if shared_memory is None:  # pragma: no cover - gated by available()
+            raise RuntimeError("multiprocessing.shared_memory unavailable")
+        self._disown_foreign()
+        name = _segment_name()
+        size = max(1, nbytes)
+        if tracked:
+            shm = shared_memory.SharedMemory(name=name, create=True,
+                                             size=size)
+        else:
+            with _quiet_tracker():
+                shm = shared_memory.SharedMemory(name=name, create=True,
+                                                 size=size)
+        self._owned[shm.name] = tracked
+        self.created_segments += 1
+        self.created_bytes += nbytes
+        self._publish_gauge()
+        return shm
+
+    def transfer(self, shm) -> str:
+        """Hand ``shm`` to another process: close and forget.
+
+        Returns the segment name the new owner attaches (and later
+        unlinks) by.  Used by workers shipping result segments to the
+        coordinator; such segments are created untracked, so no
+        resource-tracker bookkeeping needs undoing here.
+        """
+        self._disown_foreign()
+        name = shm.name
+        self._owned.pop(name, None)
+        shm.close()
+        self._publish_gauge()
+        return name
+
+    def unlink(self, name: str) -> None:
+        """Unlink ``name`` (tolerating an already-gone segment)."""
+        self._disown_foreign()
+        tracked = self._owned.pop(name, False)
+        self._publish_gauge()
+        if shared_memory is None:  # pragma: no cover
+            return
+        try:
+            with _quiet_tracker():
+                seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            return
+        seg.close()
+        try:
+            if tracked:
+                seg.unlink()
+            else:
+                # Not registered here (a reader reclaiming a transferred
+                # segment, or an untracked creation): an unregister
+                # would be unbalanced tracker chatter.
+                with _quiet_tracker():
+                    seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - unlink race
+            pass
+
+    def active_segments(self) -> int:
+        """How many created segments this process has not yet unlinked."""
+        self._disown_foreign()
+        return len(self._owned)
+
+    def active_names(self) -> List[str]:
+        self._disown_foreign()
+        return sorted(self._owned)
+
+    def drain(self) -> int:
+        """Unlink everything still owned; returns how many (atexit)."""
+        self._disown_foreign()
+        names = list(self._owned)
+        for name in names:
+            self.unlink(name)
+        return len(names)
+
+
+_ARENA = ShmArena()
+
+
+def arena() -> ShmArena:
+    """The process-local arena."""
+    return _ARENA
+
+
+@atexit.register
+def _drain_at_exit() -> None:  # pragma: no cover - interpreter shutdown
+    try:
+        _ARENA.drain()
+    except Exception:
+        pass
+
+
+# --------------------------------------------------------------------- #
+# writer helpers (descriptor constructors)
+# --------------------------------------------------------------------- #
+
+
+def write_rows(
+    rows: Sequence[Any],
+    row_width: int,
+    shape: str = "rows",
+    transfer: bool = False,
+) -> Tuple[Any, ...]:
+    """Pack ``rows`` into a fresh segment; returns a rows descriptor.
+
+    ``transfer=True`` (worker results) closes the local mapping and
+    untracks the segment so the receiving coordinator owns the unlink.
+    """
+    shm = _ARENA.create(
+        packed_nbytes(row_width, len(rows)), tracked=not transfer
+    )
+    try:
+        pack_into(shm.buf, rows, row_width, shape)
+    except BaseException:
+        name = shm.name
+        shm.close()
+        _ARENA.unlink(name)
+        raise
+    if transfer:
+        name = _ARENA.transfer(shm)
+    else:
+        name = shm.name
+        shm.close()
+    return (ROWS_TAG, name, shape, row_width, len(rows))
+
+
+def write_blob(blob: bytes) -> Tuple[Any, ...]:
+    """Write an opaque byte blob into a segment (broadcast path)."""
+    shm = _ARENA.create(len(blob))
+    try:
+        shm.buf[:len(blob)] = blob
+    except BaseException:
+        name = shm.name
+        shm.close()
+        _ARENA.unlink(name)
+        raise
+    name = shm.name
+    shm.close()
+    return (BLOB_TAG, name, len(blob))
+
+
+def shm_slice(
+    segment: str, row_width: int, start: int, stop: int
+) -> Tuple[Any, ...]:
+    """A dispatch descriptor: rows ``[start, stop)`` of ``segment``."""
+    return (SLICE_TAG, segment, row_width, start, stop)
+
+
+def is_slice(value: Any) -> bool:
+    return (
+        type(value) is tuple and len(value) == 5 and value[0] == SLICE_TAG
+    )
+
+
+def is_rows(value: Any) -> bool:
+    return (
+        type(value) is tuple and len(value) == 5 and value[0] == ROWS_TAG
+    )
+
+
+def is_blob(value: Any) -> bool:
+    return (
+        type(value) is tuple and len(value) == 3 and value[0] == BLOB_TAG
+    )
+
+
+def descriptor_nbytes(value: Any) -> int:
+    """The packed payload bytes a descriptor stands for."""
+    if is_slice(value):
+        __, __, row_width, start, stop = value
+        return (stop - start) * row_width * _PAIR
+    if is_rows(value):
+        __, __, __, row_width, count = value
+        return max(1, row_width) * count * _PAIR
+    if is_blob(value):
+        return value[2]
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# reader helpers
+# --------------------------------------------------------------------- #
+
+
+def attach(name: str):
+    """Attach an existing segment by name (read side).
+
+    Readers never own the unlink, so the attach is kept invisible to
+    the resource tracker (see :func:`_quiet_tracker`): the creator's
+    arena — or the coordinator a result was transferred to — handles
+    lifecycle.
+    """
+    if shared_memory is None:  # pragma: no cover - gated by available()
+        raise RuntimeError("multiprocessing.shared_memory unavailable")
+    with _quiet_tracker():
+        return shared_memory.SharedMemory(name=name)
+
+
+def read_slice(descriptor: Tuple[Any, ...], segment) -> List[Any]:
+    """Decode the rows a slice descriptor names from ``segment``.
+
+    Dispatch slices always carry the ``"rows"`` shape — every
+    parallelised operator input is a pointer-row list (the scan path
+    ships no rows at all, only ``[start, stop)`` bounds).
+    """
+    __, __, row_width, start, stop = descriptor
+    return unpack_rows(segment.buf, row_width, start, stop)
+
+
+def read_rows(descriptor: Tuple[Any, ...], unlink: bool = True) -> List[Any]:
+    """Decode (and by default reclaim) a whole rows segment."""
+    __, name, shape, row_width, count = descriptor
+    seg = attach(name)
+    try:
+        if shape == "refs":
+            out: List[Any] = unpack_refs(seg.buf, count)
+        else:
+            out = unpack_rows(seg.buf, row_width, 0, count)
+    finally:
+        seg.close()
+    if unlink:
+        _ARENA.unlink(name)
+    return out
+
+
+def read_blob(descriptor: Tuple[Any, ...]) -> bytes:
+    """The broadcast blob bytes a blob descriptor names."""
+    __, name, nbytes = descriptor
+    seg = attach(name)
+    try:
+        return bytes(seg.buf[:nbytes])
+    finally:
+        seg.close()
+
+
+# --------------------------------------------------------------------- #
+# the worker-side attach cache
+# --------------------------------------------------------------------- #
+
+
+class SegmentCache:
+    """A bounded LRU of attached segments, worker-process-local.
+
+    Dispatch slices of one operator all name the same segment; caching
+    the attachment keeps it one ``shm_open``+``mmap`` per worker per
+    operator instead of per morsel.  Evicted attachments are closed;
+    segment names are never reused (pid + monotonic counter), so a
+    stale entry can never alias a new segment.  Forked children drop
+    inherited entries without closing them — the mappings belong to the
+    parent's accounting, and abandoning them is always safe.
+    """
+
+    def __init__(self, limit: int = 8) -> None:
+        self.limit = int(limit)
+        self._pid = os.getpid()
+        self._segments: "OrderedDict[str, Any]" = OrderedDict()
+        self.evictions = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _own(self) -> None:
+        pid = os.getpid()
+        if pid != self._pid:
+            self._pid = pid
+            self._segments = OrderedDict()
+
+    def get(self, name: str):
+        """Attach-or-reuse ``name``; LRU order refreshed on hit."""
+        self._own()
+        seg = self._segments.get(name)
+        if seg is not None:
+            self.hits += 1
+            self._segments.move_to_end(name)
+            return seg
+        self.misses += 1
+        seg = attach(name)
+        self._segments[name] = seg
+        while len(self._segments) > self.limit:
+            __, evicted = self._segments.popitem(last=False)
+            self.evictions += 1
+            try:
+                evicted.close()
+            except BufferError:  # pragma: no cover - exported views
+                pass
+        return seg
+
+    def clear(self) -> None:
+        self._own()
+        for seg in self._segments.values():
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover
+                pass
+        self._segments = OrderedDict()
+
+    def stats(self) -> Dict[str, int]:
+        self._own()
+        return {
+            "attached": len(self._segments),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -22,9 +22,11 @@ from __future__ import annotations
 import os
 import pickle
 import time
+from collections import OrderedDict
 from itertools import islice
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.fault import runtime as fault_runtime
 from repro.instrument import (
     count_hash,
     count_move,
@@ -33,6 +35,7 @@ from repro.instrument import (
 )
 from repro.instrument.counters import OpCounters
 from repro.query.executor import filter_column_resolver
+from repro.query.parallel import shm
 from repro.query.parallel.transport import (
     TRACE_SPANS,
     decode_rows,
@@ -53,10 +56,43 @@ from repro.query.vectorized.deref import (
 _CATALOGS: Dict[int, Any] = {}
 
 #: Decoded probe-table cache, worker-process-local: the same build-side
-#: blob is shipped with every probe morsel of one join; decoding it once
-#: per worker instead of once per morsel keeps the probe hot loop tight.
-_TABLE_CACHE: Dict[Tuple[int, int], dict] = {}
+#: blob is shipped (or broadcast by segment name) with every probe
+#: morsel of one join; decoding it once per worker instead of once per
+#: morsel keeps the probe hot loop tight.  Bounded LRU: blob ids grow
+#: monotonically across statements, so without eviction a long-lived
+#: worker would pin every probe table it ever decoded.
+_TABLE_CACHE: "OrderedDict[Tuple[int, int], dict]" = OrderedDict()
 _TABLE_CACHE_LIMIT = 4
+_TABLE_CACHE_EVICTIONS = 0
+
+#: Worker-process-local attach cache for dispatch-slice segments (all
+#: morsels of one operator name the same segment).
+_SEGMENTS = shm.SegmentCache()
+
+
+def _cache_table(cache_key: Tuple[int, int], groups: dict) -> None:
+    """Insert one decoded probe table, LRU-evicting past the limit."""
+    global _TABLE_CACHE_EVICTIONS
+    _TABLE_CACHE[cache_key] = groups
+    while len(_TABLE_CACHE) > _TABLE_CACHE_LIMIT:
+        _TABLE_CACHE.popitem(last=False)
+        _TABLE_CACHE_EVICTIONS += 1
+
+
+def blob_cache_stats() -> Dict[str, int]:
+    """This process's decode-cache occupancy and eviction tally."""
+    return {
+        "entries": len(_TABLE_CACHE),
+        "limit": _TABLE_CACHE_LIMIT,
+        "evictions": _TABLE_CACHE_EVICTIONS,
+    }
+
+
+def reset_blob_cache() -> None:
+    """Drop cached probe tables and the eviction tally (tests)."""
+    global _TABLE_CACHE_EVICTIONS
+    _TABLE_CACHE.clear()
+    _TABLE_CACHE_EVICTIONS = 0
 
 
 def register_catalog(token: int, catalog: Any) -> None:
@@ -209,16 +245,28 @@ def _hash_build(payload) -> dict:
 
 
 def _hash_probe(payload) -> list:
-    """Probe one outer morsel against the broadcast build table."""
+    """Probe one outer morsel against the broadcast build table.
+
+    ``blob`` is either the pickled build table itself (pickle
+    transport) or an ``shm:blob`` descriptor naming the segment it was
+    broadcast through; either way the *decoded* table is cached by
+    ``(token, table_id)``, so a cache hit never touches the blob — or
+    the segment — at all.
+    """
     token, spec, column, table_id, blob, encoded = payload
     descriptor = rebuild(_CATALOGS[token], spec)
     cache_key = (token, table_id)
     groups = _TABLE_CACHE.get(cache_key)
     if groups is None:
+        if shm.is_blob(blob):
+            fault_runtime.fire(
+                "pool.shm", path="broadcast", segment=blob[1]
+            )
+            blob = shm.read_blob(blob)
         groups = pickle.loads(blob)
-        if len(_TABLE_CACHE) >= _TABLE_CACHE_LIMIT:
-            _TABLE_CACHE.pop(next(iter(_TABLE_CACHE)))
-        _TABLE_CACHE[cache_key] = groups
+        _cache_table(cache_key, groups)
+    else:
+        _TABLE_CACHE.move_to_end(cache_key)
     rows = decode_rows(encoded)
     key_of, cost = _batch_key(descriptor, column)
     keys = [key_of(row) for row in rows]
@@ -312,6 +360,65 @@ _HANDLERS = {
     "extract_keys": _extract_keys,
 }
 
+#: Result shapes the shm transport can pack per task kind.  Kinds whose
+#: results are not flat pointer rows (``hash_build`` dict groups,
+#: ``hash_dedup`` arbitrary-key pairs, ``extract_keys`` raw values)
+#: always return through the pickle pipe.
+_RESULT_SHAPES = {
+    "scan_filter": "refs",
+    "filter_rows": "rows",
+    "hash_probe": "rows",
+}
+
+
+def _resolve_element(value: Any) -> Any:
+    """Materialize one payload element if it is a dispatch slice.
+
+    The attach is served by the worker-local :data:`_SEGMENTS` LRU (one
+    ``shm_open``+``mmap`` per worker per operator, not per morsel); the
+    ``pool.shm`` fault point fires first so chaos runs can fail the
+    attach/unpack path and exercise the scheduler's retry/quarantine
+    healing on this transport.
+    """
+    if not shm.is_slice(value):
+        return value
+    fault_runtime.fire("pool.shm", path="dispatch", segment=value[1])
+    segment = _SEGMENTS.get(value[1])
+    return shm.read_slice(value, segment)
+
+
+def _unwrap_request(payload: tuple) -> Tuple[tuple, Optional[int]]:
+    """Strip the shm request wrapper, materializing dispatch slices.
+
+    Pickle-transport payloads pass through untouched (``None``
+    threshold); an ``shm:req`` wrapper yields the inner payload with
+    every slice descriptor replaced by its decoded rows, plus the
+    result-packing threshold the coordinator asked for.
+    """
+    if (
+        type(payload) is tuple
+        and len(payload) == 3
+        and payload[0] == shm.REQUEST_TAG
+    ):
+        __, threshold, inner = payload
+        return tuple(_resolve_element(el) for el in inner), threshold
+    return payload, None
+
+
+def _pack_result(kind: str, result: Any, threshold: int) -> Any:
+    """Pack a large packable result into a transferred segment.
+
+    Small results (and kinds without a packable shape) return as-is
+    through the pickle pipe; packed ones return an ``shm:rows``
+    descriptor whose segment the coordinator owns — and unlinks — from
+    here on.  Packing is pure transport: no Section 3.1 charges.
+    """
+    shape = _RESULT_SHAPES.get(kind)
+    if shape is None or len(result) < threshold or not shm.available():
+        return result
+    row_width = 1 if shape == "refs" else len(result[0])
+    return shm.write_rows(result, row_width, shape, transfer=True)
+
 
 def run_task(request: Tuple[str, tuple]) -> Tuple[Any, Tuple[int, ...]]:
     """Run one morsel task in an isolated counter scope.
@@ -333,8 +440,11 @@ def run_task(request: Tuple[str, tuple]) -> Tuple[Any, Tuple[int, ...]]:
     """
     if len(request) == 2:
         kind, payload = request
+        payload, threshold = _unwrap_request(payload)
         with counters_scope() as scope:
             result = _HANDLERS[kind](payload)
+        if threshold is not None:
+            result = _pack_result(kind, result, threshold)
         return result, pack_counts(scope)
     kind, payload, ctx = request
     return _run_traced(kind, payload, ctx)
@@ -361,6 +471,7 @@ def _run_traced(
 
     mode, index, dispatched_at = ctx
     queue_wait = max(0.0, time.monotonic() - dispatched_at)
+    payload, threshold = _unwrap_request(payload)
     local = Observability(
         ObservabilityConfig(
             tracing=mode >= TRACE_SPANS,
@@ -389,6 +500,8 @@ def _run_traced(
         else:
             obs_runtime.activate(previous)
     elapsed = time.perf_counter() - started
+    if threshold is not None:
+        result = _pack_result(kind, result, threshold)
     hits, misses = _deref_tallies(local)
     span_dict: Optional[dict] = None
     if local.tracer is not None:

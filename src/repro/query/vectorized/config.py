@@ -8,7 +8,9 @@ behaviour is unchanged unless a caller opts in.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigError
 
@@ -34,6 +36,20 @@ ENGINES = ("tuple", "batch")
 #: (``inline`` is the deterministic fallback for tests and
 #: Windows-free CI).
 POOL_MODES = ("auto", "process", "inline")
+
+#: Recognised morsel-transport names.  ``pickle`` is the classic pool
+#: pipe (payloads pickled whole); ``shm`` packs pointer rows into named
+#: shared-memory segments and ships only tiny descriptors through the
+#: pipe (DESIGN.md section 3.13).  The default comes from the
+#: ``REPRO_TRANSPORT`` environment variable, falling back to
+#: ``pickle``, whose wire format is byte-identical to before the shm
+#: transport existed.
+TRANSPORTS = ("pickle", "shm")
+
+#: Minimum encoded rows in one payload before the shm transport bothers
+#: with a segment; smaller payloads ride the pickle pipe where the
+#: fixed shm_open/mmap cost would dominate.
+DEFAULT_SHM_THRESHOLD = 1024
 
 #: Run attempts per morsel before it is quarantined to the inline
 #: executor: the first run plus one retry.  Enough to absorb any single
@@ -61,6 +77,13 @@ class ExecutionConfig:
     query die with :class:`~repro.errors.PoisonedMorselError`.
     ``retry_timeout`` (seconds) bounds the wait for one morsel result
     from the pool — 0 waits forever.
+
+    ``transport`` picks how morsel payloads cross the process boundary
+    (see :data:`TRANSPORTS`); ``None`` resolves to ``REPRO_TRANSPORT``
+    or ``"pickle"`` at construction, so the resolved config always
+    carries a concrete name.  ``shm_threshold_rows`` is the minimum
+    encoded-row count before the shm transport packs a payload into a
+    segment; below it, payloads ride the pickle pipe even in shm mode.
     """
 
     engine: str = "tuple"
@@ -70,6 +93,8 @@ class ExecutionConfig:
     pool: str = "auto"
     retry_attempts: int = DEFAULT_RETRY_ATTEMPTS
     retry_timeout: float = 0.0
+    transport: Optional[str] = None
+    shm_threshold_rows: int = DEFAULT_SHM_THRESHOLD
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -122,4 +147,19 @@ class ExecutionConfig:
             raise ConfigError(
                 f"retry_timeout must be a non-negative number, "
                 f"got {self.retry_timeout!r}"
+            )
+        if self.transport is None:
+            resolved = os.environ.get("REPRO_TRANSPORT", "pickle")
+            object.__setattr__(self, "transport", resolved)
+        if self.transport not in TRANSPORTS:
+            raise ConfigError(
+                f"unknown transport {self.transport!r}; "
+                f"choose one of {TRANSPORTS}"
+            )
+        if not isinstance(self.shm_threshold_rows, int) or isinstance(
+            self.shm_threshold_rows, bool
+        ) or self.shm_threshold_rows < 1:
+            raise ConfigError(
+                f"shm_threshold_rows must be a positive integer, "
+                f"got {self.shm_threshold_rows!r}"
             )

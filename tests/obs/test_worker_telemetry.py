@@ -24,6 +24,8 @@ SCHEDULER_STAT_KEYS = {
     "morsel_retries",
     "quarantined_morsels",
     "verified_retries",
+    "dispatch_bytes",
+    "result_bytes",
 }
 
 

@@ -1,0 +1,176 @@
+"""Direct unit coverage for :mod:`repro.query.parallel.transport`.
+
+These edge cases were previously exercised only indirectly through the
+parallel engine: degenerate morsel bounds, deep predicate trees on the
+plain-predicate gate, and the catalog-identity check in
+``describable()`` — which must reject a descriptor whose source merely
+*shares a name* with a catalog relation without being the same object
+(a forked worker would silently resolve the name to different data).
+"""
+
+import pytest
+
+from repro import Field, FieldType, MainMemoryDatabase
+from repro.query.parallel.transport import (
+    describable,
+    describe,
+    morsel_bounds,
+    plain_predicate,
+    rebuild,
+)
+from repro.query.predicates import (
+    Comparison,
+    Conjunction,
+    Disjunction,
+    Predicate,
+    between,
+    eq,
+    gt,
+    lt,
+)
+from repro.storage.temporary import ResultDescriptor
+
+
+# --------------------------------------------------------------------- #
+# morsel_bounds
+# --------------------------------------------------------------------- #
+
+
+class TestMorselBounds:
+    def test_zero_total_yields_no_morsels(self):
+        assert morsel_bounds(0, 128) == []
+
+    def test_morsel_size_larger_than_total_is_one_morsel(self):
+        assert morsel_bounds(57, 4096) == [(0, 57)]
+
+    def test_exact_multiple_splits_cleanly(self):
+        assert morsel_bounds(256, 128) == [(0, 128), (128, 256)]
+
+    def test_remainder_gets_a_short_tail_morsel(self):
+        assert morsel_bounds(300, 128) == [(0, 128), (128, 256), (256, 300)]
+
+    def test_bounds_cover_every_index_exactly_once(self):
+        bounds = morsel_bounds(1000, 77)
+        covered = [i for start, stop in bounds for i in range(start, stop)]
+        assert covered == list(range(1000))
+
+
+# --------------------------------------------------------------------- #
+# plain_predicate
+# --------------------------------------------------------------------- #
+
+
+class _Opaque(Predicate):
+    """A user-defined predicate: must never cross the fork boundary."""
+
+    def matches(self, read_field) -> bool:  # pragma: no cover - unused
+        return True
+
+
+class TestPlainPredicate:
+    def test_none_is_plain(self):
+        assert plain_predicate(None)
+
+    def test_simple_comparison_is_plain(self):
+        assert plain_predicate(eq("A", 3))
+        assert plain_predicate(between("A", 1, 9))
+
+    def test_nested_conjunction_disjunction_tree_is_plain(self):
+        tree = (gt("A", 1) & lt("A", 50)) | (
+            eq("B", 7) & (between("A", 2, 4) | eq("B", 0))
+        )
+        assert type(tree) is Disjunction
+        assert plain_predicate(tree)
+
+    def test_deeply_nested_tree_with_opaque_leaf_is_rejected(self):
+        # The poison leaf hides three levels down; the recursive walk
+        # must still find it.
+        tree = Conjunction(
+            (
+                gt("A", 1),
+                Disjunction((lt("A", 9), Conjunction((_Opaque(),)))),
+            )
+        )
+        assert not plain_predicate(tree)
+
+    def test_opaque_root_is_rejected(self):
+        assert not plain_predicate(_Opaque())
+
+    def test_comparison_with_unpicklable_value_is_rejected(self):
+        assert not plain_predicate(Comparison("A", eq("x", 1).op, object()))
+
+    def test_subclass_of_comparison_is_rejected(self):
+        # ``type() is`` on purpose: a Comparison subclass may override
+        # ``matches`` with captured state the worker cannot rebuild.
+        class Sneaky(Comparison):
+            pass
+
+        assert not plain_predicate(Sneaky("A", eq("x", 1).op, 3))
+
+
+# --------------------------------------------------------------------- #
+# describable / describe / rebuild
+# --------------------------------------------------------------------- #
+
+
+def _db_with_r():
+    db = MainMemoryDatabase()
+    db.create_relation(
+        "R",
+        [Field("Id", FieldType.INT), Field("A", FieldType.INT)],
+        primary_key="Id",
+    )
+    db.insert("R", [1, 10])
+    return db
+
+
+class TestDescribable:
+    def test_own_relation_round_trips(self):
+        db = _db_with_r()
+        relation = db.catalog.relation("R")
+        descriptor = ResultDescriptor.whole_relation(relation)
+        assert describable(db.catalog, descriptor)
+        rebuilt = rebuild(db.catalog, describe(descriptor))
+        assert rebuilt.sources[0] is relation
+        assert [c.label for c in rebuilt.columns] == [
+            c.label for c in descriptor.columns
+        ]
+
+    def test_same_name_different_object_is_rejected(self):
+        # Two catalogs, each with a relation named "R": a descriptor
+        # built against one must not be shippable through the other —
+        # same name, different object, potentially different rows.
+        db_a = _db_with_r()
+        db_b = _db_with_r()
+        foreign = ResultDescriptor.whole_relation(db_b.catalog.relation("R"))
+        assert not describable(db_a.catalog, foreign)
+
+    def test_unregistered_name_is_rejected(self):
+        db = _db_with_r()
+        other = MainMemoryDatabase()
+        other.create_relation(
+            "Elsewhere",
+            [Field("Id", FieldType.INT)],
+            primary_key="Id",
+        )
+        descriptor = ResultDescriptor.whole_relation(
+            other.catalog.relation("Elsewhere")
+        )
+        assert not describable(db.catalog, descriptor)
+
+    def test_any_foreign_source_taints_the_descriptor(self):
+        # Mixed sources: one legitimate, one foreign — still rejected.
+        db_a = _db_with_r()
+        db_b = _db_with_r()
+        from repro.storage.temporary import ResultColumn
+
+        own = db_a.catalog.relation("R")
+        foreign = db_b.catalog.relation("R")
+        mixed = ResultDescriptor(
+            [own, foreign],
+            [
+                ResultColumn(0, "Id", "left.Id"),
+                ResultColumn(1, "Id", "right.Id"),
+            ],
+        )
+        assert not describable(db_a.catalog, mixed)
