@@ -133,6 +133,7 @@ class MainMemoryDatabase:
         self.observability = None
         self.fault_injector = None
         self.execution_config = None
+        self.replication = None
         # CI hook: REPRO_EXEC_ENGINE/_WORKERS/_POOL select a default
         # execution config for every database constructed in the
         # process (the 2-worker pytest lane runs the whole suite on the
@@ -168,6 +169,17 @@ class MainMemoryDatabase:
             self.configure_observability()
         if cache is not None:
             self.configure_cache(cache)
+        # Replication hook: REPRO_REPLICATION selects a channel mode
+        # ("inline" / "process", optionally ":shm" for the transport)
+        # for every *durable* database in the process — the failover CI
+        # lane runs the suite replicated this way.  Explicit
+        # configure_replication calls still override.
+        env_repl = os.environ.get("REPRO_REPLICATION")
+        if env_repl and durable and env_repl not in ("0", "false", "off"):
+            mode, __, transport = env_repl.partition(":")
+            self.configure_replication(
+                channel=mode, transport=transport or None
+            )
         # The transaction id used for log records when no transaction is
         # active (each autocommit op commits immediately).
         self._autocommit_lock = threading.Lock()
@@ -244,6 +256,7 @@ class MainMemoryDatabase:
         retry_timeout: float = None,
         transport: str = None,
         shm_threshold_rows: int = None,
+        retry_backoff=None,
     ):
         """Select the execution engine (tuple-at-a-time vs. batch).
 
@@ -280,6 +293,7 @@ class MainMemoryDatabase:
             "retry_timeout": retry_timeout,
             "transport": transport,
             "shm_threshold_rows": shm_threshold_rows,
+            "retry_backoff": retry_backoff,
         }
         given = {
             name: value
@@ -312,6 +326,7 @@ class MainMemoryDatabase:
                     retry_timeout=config.retry_timeout,
                     transport=config.transport,
                     shm_threshold_rows=config.shm_threshold_rows,
+                    retry_backoff=config.retry_backoff,
                 )
                 par_runtime.activate_scheduler(self.executor.scheduler)
             else:
@@ -423,7 +438,11 @@ class MainMemoryDatabase:
         from repro.obs.report import render_report
 
         return render_report(
-            self.observability, self.scheduler_stats(), top=top
+            self.observability,
+            self.scheduler_stats(),
+            top=top,
+            quarantine=self.quarantine_report(),
+            replication=self.replication_state(),
         )
 
     # ------------------------------------------------------------------ #
@@ -437,6 +456,7 @@ class MainMemoryDatabase:
         seed: int = None,
         policies: Sequence[Any] = None,
         spec: str = None,
+        backoff=None,
     ):
         """Install (or remove) the deterministic fault injector.
 
@@ -450,15 +470,23 @@ class MainMemoryDatabase:
         config carrying no policies), it deactivates fault injection
         entirely and restores the zero-overhead no-op hooks.
 
+        ``backoff`` (a :class:`~repro.fault.BackoffPolicy`, or the
+        ``backoff:`` clause of a spec) installs the shared retry
+        schedule the recovery manager sleeps between transient-read
+        retries; disabling faults resets it to immediate retries.
+
         Returns the installed
         :class:`~repro.fault.FaultInjector` (or None when disabling).
         """
         from repro.errors import ConfigError
         from repro.fault import FaultConfig, FaultInjector, parse_fault_spec
+        from repro.fault import NO_BACKOFF
         from repro.fault import runtime as fault_runtime
 
         given = [
-            value for value in (seed, policies, spec) if value is not None
+            value
+            for value in (seed, policies, spec, backoff)
+            if value is not None
         ]
         if config is not None and given:
             raise ConfigError(
@@ -475,7 +503,14 @@ class MainMemoryDatabase:
                 config = FaultConfig(
                     seed=seed if seed is not None else 0,
                     policies=tuple(policies) if policies else (),
+                    backoff=backoff,
                 )
+        # The shared retry schedule applies even when no fault policy
+        # does (a backoff-only configuration is legitimate tuning).
+        if self.recovery is not None:
+            self.recovery.backoff = (
+                config.backoff if config.backoff is not None else NO_BACKOFF
+            )
         if not config.enabled:
             if self.fault_injector is not None and (
                 fault_runtime.active() is self.fault_injector
@@ -486,6 +521,121 @@ class MainMemoryDatabase:
         self.fault_injector = FaultInjector(config.seed, config.policies)
         fault_runtime.activate(self.fault_injector)
         return self.fault_injector
+
+    # ------------------------------------------------------------------ #
+    # replication (durable mode)
+    # ------------------------------------------------------------------ #
+
+    def configure_replication(
+        self,
+        config=None,
+        *,
+        channel: str = None,
+        transport: str = None,
+        max_lag_records: int = None,
+        batch_records: int = None,
+        retry_attempts: int = None,
+        backoff=None,
+        heartbeat_timeout: float = None,
+    ):
+        """Establish a log-shipped warm replica (durable mode only).
+
+        ``config`` is a
+        :class:`~repro.replication.ReplicationConfig`; alternatively
+        pass its fields as keywords.  The replica bootstraps from the
+        disk copy plus the accumulation log's unpropagated suffix, then
+        stays current: every record the log device absorbs also ships,
+        in checksummed batches, with retry/backoff on every hop.  On
+        primary failure, :meth:`demote` (or a heartbeat timeout, or
+        observed worker kills via :meth:`check_failover`) promotes the
+        replica.  A partition quarantined by ``recover(partial=True)``
+        heals online from the replica via :meth:`heal_partitions`.
+
+        Reconfiguring replaces the existing replica.  Returns the
+        :class:`~repro.replication.FailoverCoordinator`.
+        """
+        from repro.errors import ConfigError
+        from repro.replication import FailoverCoordinator, ReplicationConfig
+
+        self._require_durable()
+        keyword_fields = {
+            "channel": channel,
+            "transport": transport,
+            "max_lag_records": max_lag_records,
+            "batch_records": batch_records,
+            "retry_attempts": retry_attempts,
+            "backoff": backoff,
+            "heartbeat_timeout": heartbeat_timeout,
+        }
+        given = {
+            name: value
+            for name, value in keyword_fields.items()
+            if value is not None
+        }
+        if config is None:
+            config = ReplicationConfig(**given)
+        elif given:
+            raise ConfigError(
+                "pass either a ReplicationConfig or keyword fields, not both"
+            )
+        if self.replication is not None:
+            self.replication.close()
+        self.replication = FailoverCoordinator(self, config).establish()
+        return self.replication
+
+    def stop_replication(self) -> None:
+        """Detach and stop the warm replica (no-op when none exists)."""
+        if self.replication is not None:
+            self.replication.close()
+            self.replication = None
+
+    def _require_replication(self):
+        from repro.errors import ReplicationError
+
+        if self.replication is None:
+            raise ReplicationError(
+                "replication is not configured; call "
+                "configure_replication() first"
+            )
+        return self.replication
+
+    def demote(self, reason: str = "demoted"):
+        """Explicit failover: this primary steps down, the replica's
+        images become the database.  Returns
+        :class:`~repro.replication.PromotionStats`."""
+        return self._require_replication().promote(reason=reason)
+
+    def heal_partitions(self):
+        """Online partition repair: every quarantined partition is
+        re-fetched from the replica and swapped in.  Returns
+        :class:`~repro.replication.HealStats`."""
+        return self._require_replication().heal_quarantined()
+
+    def replication_heartbeat(self) -> None:
+        """Stamp the primary's liveness (see ``heartbeat_timeout``)."""
+        self._require_replication().heartbeat()
+
+    def check_failover(self) -> bool:
+        """Run the failure detectors; True when this call promoted.
+
+        Checks the heartbeat window first, then the fault injector's
+        record of killed workers (the chaos lane's kill-primary signal).
+        """
+        coordinator = self._require_replication()
+        return coordinator.check() or coordinator.maybe_promote_on_faults()
+
+    def replication_state(self) -> Optional[Dict[str, Any]]:
+        """Shipper/replica/coordinator state, or None when off."""
+        if self.replication is None:
+            return None
+        return self.replication.replication_state()
+
+    def quarantine_report(self) -> Dict[str, List[Tuple[int, str]]]:
+        """Quarantined partitions per relation from the last partial
+        restart ({} when none, or when never restarted)."""
+        if self.recovery is None or self.recovery.last_restart_stats is None:
+            return {}
+        return self.recovery.last_restart_stats.quarantine_report()
 
     def cache_stats(self) -> Dict[str, Any]:
         """Hit/miss/eviction statistics for every installed cache layer."""

@@ -118,6 +118,52 @@ class CorruptLogRecordError(RecoveryError):
     """A log record's content no longer matches its append-time checksum."""
 
 
+class ShardUnavailableError(ReproError):
+    """A statement routed to a quarantined or failed partition.
+
+    Raised at the relation's partition-lookup boundary when a partial
+    restart quarantined the partition's damaged image — the typed,
+    retryable signal ("heal or re-restart, then retry") instead of a
+    generic :class:`KeyError` / :class:`CorruptImageError` surfacing
+    from deep inside recovery.  Carries the relation, partition id, and
+    the reason the partition was condemned.
+    """
+
+    def __init__(self, relation: str, partition_id: int, reason: str) -> None:
+        super().__init__(
+            f"partition {relation}[{partition_id}] is unavailable "
+            f"(quarantined: {reason}); heal it from a replica or finish "
+            f"recovery before retrying"
+        )
+        self.relation = relation
+        self.partition_id = partition_id
+        self.reason = reason
+
+
+class ReplicationError(ReproError):
+    """A replication-layer operation failed (shipping, apply, failover)."""
+
+
+class CorruptBatchError(ReplicationError):
+    """A shipped record batch failed its frame or record checksum.
+
+    The replica rejects the whole batch — nothing half-applies — and the
+    shipper re-encodes and re-ships from its outbox.
+    """
+
+
+class ReplicationEpochError(ReplicationError):
+    """A batch carried a stale replication epoch (fencing).
+
+    After a promotion the epoch advances; a batch from a demoted primary
+    still shipping under the old epoch is rejected, never applied.
+    """
+
+
+class ReplicaUnavailableError(ReplicationError):
+    """No replica is configured, or its channel is down."""
+
+
 class InjectedFaultError(ReproError):
     """A fault deliberately raised by the fault-injection subsystem.
 

@@ -22,6 +22,7 @@ errors (:class:`~repro.errors.InjectedFaultError`,
 self-healing machinery must absorb.
 """
 
+from repro.fault.backoff import NO_BACKOFF, BackoffPolicy
 from repro.fault.config import FaultConfig, parse_fault_spec
 from repro.fault.injector import (
     FAULT_POINTS,
@@ -32,9 +33,11 @@ from repro.fault.injector import (
 
 __all__ = [
     "FAULT_POINTS",
+    "BackoffPolicy",
     "FaultConfig",
     "FaultEvent",
     "FaultInjector",
     "FaultPolicy",
+    "NO_BACKOFF",
     "parse_fault_spec",
 ]

@@ -60,6 +60,16 @@ FAULT_POINTS: Dict[str, Tuple[str, ...]] = {
     # RecoveryManager.checkpoint_all, per partition: error — a crash
     # window with some partitions checkpointed and some not.
     "checkpoint.partition": ("error", "latency"),
+    # LogShipper, per shipped batch (promotion's suffix replay included):
+    # error (the hop fails; the batch stays in the outbox and retries
+    # with backoff) | corrupt (flip a byte in the framed batch — the
+    # replica's unframe rejects it whole, proving the checksummed wire)
+    # | latency.
+    "repl.ship": ("error", "corrupt", "latency"),
+    # ReplicaApplier.apply_batch, per batch: error (the apply fails
+    # before the watermark advances; the re-shipped batch deduplicates
+    # by LSN so records land exactly once) | latency.
+    "repl.apply": ("error", "latency"),
 }
 
 

@@ -60,12 +60,17 @@ def render_report(
     obs: Any,
     scheduler_stats: Optional[Dict[str, Any]] = None,
     top: int = 10,
+    quarantine: Optional[Dict[str, Any]] = None,
+    replication: Optional[Dict[str, Any]] = None,
 ) -> str:
     """The hotspot summary for one observability instance.
 
     ``scheduler_stats`` is the shape ``db.scheduler_stats()`` returns —
     the scheduler's run counters plus ``workers`` (per-pid telemetry);
     None (or a stats dict without workers) omits that section.
+    ``quarantine`` (the shape of ``db.quarantine_report()``) and
+    ``replication`` (``db.replication_state()``) add a degraded-state
+    section when either is non-empty.
     """
     lines: List[str] = ["Observability report", "====================", ""]
 
@@ -145,6 +150,26 @@ def render_report(
              "deref_hit_rate", "retried", "quarantined"],
             rows,
         ))
+        lines.append("")
+
+    if quarantine or replication:
+        lines.append("Degraded state:")
+        for relation in sorted(quarantine or {}):
+            for partition_id, reason in quarantine[relation]:
+                lines.append(
+                    f"  quarantined {relation}[{partition_id}]: "
+                    f"{_clip(reason, 64)}"
+                )
+        if replication:
+            shipper = replication.get("shipper") or {}
+            lines.append(
+                f"  replication: state={replication.get('state', '-')} "
+                f"channel={replication.get('channel', '-')} "
+                f"lag_records={shipper.get('lag_records', 0)} "
+                f"epoch={shipper.get('epoch', '-')} "
+                f"failovers={replication.get('failovers', 0)} "
+                f"heals={replication.get('partition_heals', 0)}"
+            )
         lines.append("")
 
     return "\n".join(lines).rstrip() + "\n"

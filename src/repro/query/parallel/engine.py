@@ -98,6 +98,7 @@ class ParallelBatchExecutor(BatchExecutor):
         retry_timeout: float = 0.0,
         transport: Optional[str] = None,
         shm_threshold_rows: int = DEFAULT_SHM_THRESHOLD,
+        retry_backoff=None,
     ) -> None:
         super().__init__(catalog, result_cache, batch_size)
         if workers < 2:
@@ -141,6 +142,7 @@ class ParallelBatchExecutor(BatchExecutor):
             retry_attempts=retry_attempts,
             retry_timeout=retry_timeout,
             transport=self.transport,
+            retry_backoff=retry_backoff,
         )
 
     def close(self) -> None:

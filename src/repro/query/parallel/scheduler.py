@@ -90,6 +90,7 @@ class MorselScheduler:
         retry_timeout: float = 0.0,
         verify_retries: Optional[bool] = None,
         transport: str = "pickle",
+        retry_backoff=None,
     ) -> None:
         self.catalog = catalog
         self.workers = int(workers)
@@ -110,6 +111,14 @@ class MorselScheduler:
         self.retry_attempts = max(1, int(retry_attempts))
         #: Seconds to wait for one morsel result; 0 waits forever.
         self.retry_timeout = float(retry_timeout)
+        #: Slept between retry rounds (pooled) / attempts (inline).  The
+        #: default NO_BACKOFF retries immediately, exactly the historic
+        #: fixed-delay-of-zero behaviour.
+        from repro.fault.backoff import NO_BACKOFF
+
+        self.retry_backoff = (
+            retry_backoff if retry_backoff is not None else NO_BACKOFF
+        )
         #: Re-run successfully retried morsels inline and assert the
         #: results and packed counts are identical (the counter-merge
         #: determinism contract).  None = automatic: on exactly when
@@ -559,7 +568,13 @@ class MorselScheduler:
         retried_ok: List[int] = []
         quarantined: List[int] = []
         timeout = self.retry_timeout or None
+        retry_round = 0
         while pending:
+            if retry_round:
+                # Between retry rounds, not before the first: the
+                # configured backoff paces re-dispatch of failed morsels.
+                self.retry_backoff.sleep(retry_round - 1)
+            retry_round += 1
             futures: Dict[int, Any] = {}
             pool_broke = False
             for index in pending:
@@ -743,5 +758,6 @@ class MorselScheduler:
                 if attempt + 1 < remaining:
                     self._note_retry(index)
                     _metric("morsel_retries_total", kind=kind)
+                    self.retry_backoff.sleep(attempt)
         _metric("poisoned_morsels_total", kind=kind)
         raise PoisonedMorselError(kind, index, repr(last)) from last

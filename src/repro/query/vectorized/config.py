@@ -76,7 +76,9 @@ class ExecutionConfig:
     morsel re-executes inline once, and only if that also fails does the
     query die with :class:`~repro.errors.PoisonedMorselError`.
     ``retry_timeout`` (seconds) bounds the wait for one morsel result
-    from the pool — 0 waits forever.
+    from the pool — 0 waits forever.  ``retry_backoff`` (a
+    :class:`~repro.fault.BackoffPolicy`) paces re-dispatch between
+    retry rounds; ``None`` — the default — retries immediately.
 
     ``transport`` picks how morsel payloads cross the process boundary
     (see :data:`TRANSPORTS`); ``None`` resolves to ``REPRO_TRANSPORT``
@@ -95,6 +97,7 @@ class ExecutionConfig:
     retry_timeout: float = 0.0
     transport: Optional[str] = None
     shm_threshold_rows: int = DEFAULT_SHM_THRESHOLD
+    retry_backoff: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -163,3 +166,11 @@ class ExecutionConfig:
                 f"shm_threshold_rows must be a positive integer, "
                 f"got {self.shm_threshold_rows!r}"
             )
+        if self.retry_backoff is not None:
+            from repro.fault.backoff import BackoffPolicy
+
+            if not isinstance(self.retry_backoff, BackoffPolicy):
+                raise ConfigError(
+                    f"retry_backoff must be a BackoffPolicy or None, "
+                    f"got {self.retry_backoff!r}"
+                )

@@ -93,6 +93,21 @@ class LogDevice:
         self._accumulation: Dict[PartitionKey, List[LogRecord]] = {}
         self.records_absorbed = 0
         self.records_propagated = 0
+        #: Absorb observers (the replication log shipper).  Empty — the
+        #: default — costs one falsy check per absorb; the recovery wire
+        #: stays byte-identical with replication off.
+        self._sinks: List = []
+
+    def add_sink(self, sink) -> None:
+        """Register a callable fed every newly absorbed record batch."""
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink) -> None:
+        """Unregister a sink (tolerates one already removed)."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------ #
     # normal operation
@@ -108,6 +123,11 @@ class LogDevice:
                 self._accumulation.setdefault(key, []).append(record)
             self.records_absorbed += len(records)
         _metric("log_records_absorbed_total", len(records))
+        if records and self._sinks:
+            # Replication taps the accumulation log here: every record
+            # that enters it is also offered to each registered sink.
+            for sink in list(self._sinks):
+                sink(records)
         return len(records)
 
     def ensure_base_image(self, relation: str, partition_id: int) -> None:
@@ -201,6 +221,16 @@ class LogDevice:
         """Total unpropagated records across all partitions."""
         with self._mutex:
             return sum(len(v) for v in self._accumulation.values())
+
+    def all_pending(self) -> List[LogRecord]:
+        """Every unpropagated record, LSN order (replication bootstrap)."""
+        with self._mutex:
+            records = [
+                record
+                for batch in self._accumulation.values()
+                for record in batch
+            ]
+        return sorted(records, key=lambda r: r.lsn)
 
     def load_partition_with_merge(
         self, relation: str, partition_id: int

@@ -1,0 +1,84 @@
+"""The replication wire format: checksummed record batches.
+
+A shipped batch reuses the recovery stack's integrity machinery end to
+end: each :class:`~repro.recovery.log.LogRecord` already carries its
+append-time content checksum, and the pickled batch is wrapped in the
+same CRC32 frame (:mod:`repro.recovery.framing`) the disk copy uses for
+partition images.  Damage anywhere on the hop — a flipped byte in
+flight, a truncated send — surfaces as a typed
+:class:`~repro.errors.CorruptBatchError` at the replica's unframe, and
+the whole batch is rejected before a single record applies.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import CorruptBatchError, CorruptImageError
+from repro.recovery.framing import frame, unframe
+from repro.recovery.log import LogRecord
+
+
+@dataclass(frozen=True)
+class ShippedBatch:
+    """One shipment: an epoch-stamped, LSN-ordered run of log records.
+
+    ``epoch`` is the replication epoch the shipper held when encoding —
+    the replica fences batches from a demoted primary by rejecting any
+    epoch older than its own.  ``seq`` numbers shipments for the ack
+    bookkeeping and the fault-injection context.
+    """
+
+    epoch: int
+    seq: int
+    records: Tuple[LogRecord, ...]
+
+    @property
+    def last_lsn(self) -> int:
+        return self.records[-1].lsn if self.records else 0
+
+
+def encode_batch(batch: ShippedBatch) -> bytes:
+    """Serialise and CRC32-frame one batch for the shipping hop."""
+    payload = pickle.dumps(
+        (batch.epoch, batch.seq, tuple(batch.records)),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    return frame(payload)
+
+
+def decode_batch(data: bytes) -> ShippedBatch:
+    """Validate the frame and reconstruct the batch.
+
+    Any integrity failure — torn frame, checksum mismatch, bytes that
+    do not unpickle into a batch — raises
+    :class:`~repro.errors.CorruptBatchError`; nothing half-decodes.
+    """
+    try:
+        payload = unframe(data, context="shipped batch")
+    except CorruptImageError as exc:
+        raise CorruptBatchError(str(exc)) from exc
+    try:
+        epoch, seq, records = pickle.loads(payload)
+        records = tuple(records)
+    except Exception as exc:
+        raise CorruptBatchError(
+            f"shipped batch does not decode: {exc!r}"
+        ) from exc
+    return ShippedBatch(epoch=epoch, seq=seq, records=records)
+
+
+def corrupt_bytes(data: bytes) -> bytes:
+    """Flip the last byte — the ``repl.ship`` fault's ``corrupt`` action.
+
+    The last byte sits in the payload (never the header), so the frame
+    parses but the CRC32 rejects it: exactly the failure mode the
+    checksummed wire exists to catch.
+    """
+    if not data:
+        return data
+    damaged = bytearray(data)
+    damaged[-1] ^= 0xFF
+    return bytes(damaged)

@@ -21,6 +21,7 @@ from repro.errors import (
     HeapOverflowError,
     PartitionFullError,
     SchemaError,
+    ShardUnavailableError,
     StorageError,
 )
 from repro.indexes import INDEX_KINDS
@@ -81,6 +82,11 @@ class Relation:
         self._next_partition_id = 0
         self._indexes: Dict[str, Index] = {}
         self._count = 0
+        #: Partitions a partial restart condemned: id -> reason.  A
+        #: statement routed here gets a typed ShardUnavailableError
+        #: instead of a bare missing-partition StorageError, and healing
+        #: (adopting a good image) clears the mark.
+        self._quarantined: Dict[int, str] = {}
         # Monotonic version: bumped by every insert/update/delete and by
         # index DDL (plans depend on available access paths).  Cached
         # plans/results record the versions they observed; a mismatch
@@ -128,13 +134,45 @@ class Relation:
         return list(self._partitions.values())
 
     def partition(self, partition_id: int) -> Partition:
-        """Look up a partition by id."""
+        """Look up a partition by id.
+
+        A partition quarantined by a partial restart raises the typed
+        :class:`~repro.errors.ShardUnavailableError` so routing layers
+        (and operators) can distinguish "degraded, heal me" from a
+        plain bad partition id.
+        """
         try:
             return self._partitions[partition_id]
         except KeyError:
+            reason = self._quarantined.get(partition_id)
+            if reason is not None:
+                raise ShardUnavailableError(
+                    self.name, partition_id, reason
+                ) from None
             raise StorageError(
                 f"{self.name}: no partition {partition_id}"
             ) from None
+
+    # ------------------------------------------------------------------ #
+    # quarantine marks (partial-restart degraded state)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def quarantined_partitions(self) -> Dict[int, str]:
+        """Quarantined partition ids and reasons (read-only view)."""
+        return dict(self._quarantined)
+
+    def mark_quarantined(self, partition_id: int, reason: str) -> None:
+        """Record that ``partition_id`` failed to reload and is absent."""
+        self._quarantined[partition_id] = reason
+
+    def clear_quarantined(self, partition_id: int = None) -> None:
+        """Drop a quarantine mark (all marks when ``partition_id`` is
+        None) — the partition was healed or the memory image reset."""
+        if partition_id is None:
+            self._quarantined.clear()
+        else:
+            self._quarantined.pop(partition_id, None)
 
     # ------------------------------------------------------------------ #
     # index management
@@ -498,6 +536,8 @@ class Relation:
         self.bump_version()
         self._partitions[partition.id] = partition
         self._next_partition_id = max(self._next_partition_id, partition.id + 1)
+        # A good image arriving is exactly what heals a quarantine.
+        self._quarantined.pop(partition.id, None)
 
     def rebuild_indexes(self) -> None:
         """Rebuild every index from storage (after a recovery reload).

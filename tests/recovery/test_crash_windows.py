@@ -13,7 +13,7 @@ from repro.errors import InjectedFaultError
 from repro.fault import FaultPolicy
 from repro.fault import runtime as fault_runtime
 from repro.obs import runtime as obs_runtime
-from tests.conftest import EMPLOYEES
+from tests.conftest import EMPLOYEES, build_figure1_db
 
 
 @pytest.fixture(autouse=True)
@@ -172,3 +172,105 @@ class TestCrashDuringPropagation:
         durable_db.recover()
         rows = durable_db.select("Employee", eq("Id", 98))
         assert len(rows) == 1  # applied exactly once, not twice
+
+
+class TestCrashDuringReplication:
+    """Faults on the shipping hops: every window replays exactly.
+
+    The ``repl.ship`` / ``repl.apply`` fault points fire parent-side in
+    the shipper, so a fixed seed replays the same fault sequence; the
+    retry budget plus the replica's applied-LSN watermark must turn
+    every injected mid-ship, mid-apply, and mid-promotion failure into
+    an exact, exactly-once replay.
+    """
+
+    def test_mid_ship_corruption_replays_exactly(self, durable_db):
+        durable_db.configure_replication(channel="inline", retry_attempts=3)
+        durable_db.insert("Employee", ["Shipley", 90, 30, 459])
+        committed = _employee_names(durable_db)
+        durable_db.configure_faults(
+            seed=31,
+            policies=[
+                FaultPolicy("repl.ship", action="corrupt", one_shot=True)
+            ],
+        )
+        stats = durable_db.demote(reason="mid-ship window")
+        durable_db.configure_faults()
+        shipper = durable_db.replication.shipper
+        # The corrupted batch was rejected whole and reshipped clean...
+        assert shipper.rejected_batches == 1
+        assert stats.records_replayed == 1
+        # ...and the promoted catalog is exactly the committed state.
+        assert _employee_names(durable_db) == committed
+        assert len(durable_db.select("Employee", eq("Id", 90))) == 1
+
+    def test_mid_apply_fault_replays_exactly(self, durable_db):
+        durable_db.configure_replication(channel="inline", retry_attempts=3)
+        durable_db.insert("Employee", ["Applegate", 91, 33, 409])
+        committed = _employee_names(durable_db)
+        durable_db.configure_faults(
+            seed=32,
+            policies=[
+                FaultPolicy("repl.apply", action="error", one_shot=True)
+            ],
+        )
+        durable_db.demote(reason="mid-apply window")
+        durable_db.configure_faults()
+        shipper = durable_db.replication.shipper
+        assert shipper.ship_errors == 1
+        assert shipper.ship_retries == 1
+        assert _employee_names(durable_db) == committed
+
+    def test_mid_promotion_multi_batch_replay_is_exactly_once(
+        self, durable_db
+    ):
+        # One record per batch: the promotion's suffix replay crosses
+        # several faulted hops, and every record must apply once.  The
+        # checkpoint pins the replay suffix to exactly the new inserts.
+        durable_db.checkpoint()
+        durable_db.configure_replication(
+            channel="inline", batch_records=1, retry_attempts=3
+        )
+        for i in range(4):
+            durable_db.insert(
+                "Employee", [f"Window{i}", 92 + i, 30 + i, 459]
+            )
+        committed = _employee_names(durable_db)
+        durable_db.configure_faults(
+            seed=33,
+            policies=[
+                FaultPolicy("repl.apply", action="error", every_nth=2)
+            ],
+        )
+        durable_db.demote(reason="mid-promotion window")
+        durable_db.configure_faults()
+        replica = durable_db.replication.channel.request("state")
+        assert replica["records_applied"] == 4
+        assert replica["records_skipped"] == 0
+        assert _employee_names(durable_db) == committed
+
+    def test_faulted_promotion_replays_deterministically(self):
+        def one_pass():
+            db = build_figure1_db(durable=True)
+            db.configure_replication(
+                channel="inline", batch_records=1, retry_attempts=3
+            )
+            for i in range(3):
+                db.insert("Employee", [f"Det{i}", 80 + i, 40 + i, 411])
+            db.configure_faults(
+                seed=34,
+                policies=[
+                    FaultPolicy("repl.ship", action="corrupt", every_nth=2),
+                    FaultPolicy("repl.apply", action="error", one_shot=True),
+                ],
+            )
+            db.demote(reason="deterministic window")
+            db.configure_faults()
+            shipper = db.replication.shipper
+            return _employee_names(db), shipper.state()
+
+        first_names, first_state = one_pass()
+        second_names, second_state = one_pass()
+        assert first_names == second_names
+        # Same seed, same fault plan: retry/rejection totals replay.
+        assert first_state == second_state
